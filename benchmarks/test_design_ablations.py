@@ -1,0 +1,61 @@
+"""Design-alternative ablations the paper discusses in prose.
+
+* Section 2.3.1: replica creation strategy (all states vs Shared-only)
+* Section 2.3.3: classifier organization (in-cache vs sparse)
+* Section 2.2.4: Temporal Locality Hints vs the modified-LRU policy
+"""
+
+from repro.experiments.ablations import (
+    render_classifier_organization_ablation,
+    render_replica_strategy_ablation,
+    render_tla_ablation,
+    run_classifier_organization_ablation,
+    run_replica_strategy_ablation,
+    run_tla_ablation,
+)
+
+
+def test_replica_strategy(benchmark, setup):
+    results = benchmark.pedantic(
+        run_replica_strategy_ablation, args=(setup, ("LU-NC", "BARNES")),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_replica_strategy_ablation(results))
+    # Migratory data (LU-NC) must lose without E/M replicas: the
+    # shared-only strategy creates fewer replicas and costs energy.
+    lu = results["LU-NC"]
+    assert (
+        lu["shared_only"].stats.counters.get("replicas_created", 0)
+        <= lu["all_states"].stats.counters.get("replicas_created", 0)
+    )
+    assert lu["shared_only"].total_energy >= lu["all_states"].total_energy * 0.98
+
+
+def test_classifier_organization(benchmark, setup):
+    results = benchmark.pedantic(
+        run_classifier_organization_ablation,
+        kwargs=dict(setup=setup, benchmarks=("BARNES", "DEDUP"),
+                    sparse_entries=(32, 1024)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_classifier_organization_ablation(results))
+    # A generously sized side table matches the in-cache organization.
+    barnes = results["BARNES"]
+    ratio = barnes["sparse-1024"].total_energy / barnes["incache"].total_energy
+    assert 0.9 < ratio < 1.15
+
+
+def test_tla_hints(benchmark, setup):
+    results = benchmark.pedantic(
+        run_tla_ablation, args=(setup, ("DEDUP", "BLACKSCHOLES")),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_tla_ablation(results))
+    # TLA sends real hint traffic; the paper's modified-LRU needs none.
+    assert any(
+        row["tla"].stats.counters.get("tla_hints_sent", 0) > 0
+        for row in results.values()
+    )

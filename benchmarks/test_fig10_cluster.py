@@ -1,0 +1,26 @@
+"""Figure 10: cluster-size sensitivity for replica placement."""
+
+from repro.experiments.fig10_cluster import (
+    normalized_tables,
+    render_fig10,
+    run_fig10,
+)
+from repro.experiments.reporting import geomean
+
+FIG10_SUBSET = ("BARNES", "STREAMCLUSTER", "RAYTRACE", "FLUIDANIMATE")
+
+
+def test_fig10_cluster(benchmark, setup):
+    results = benchmark.pedantic(
+        run_fig10, args=(setup, FIG10_SUBSET), rounds=1, iterations=1
+    )
+    energy, completion = normalized_tables(results)
+    print()
+    print(render_fig10(energy, completion))
+    labels = list(next(iter(completion.values())).keys())
+    largest = labels[-1]
+    # The paper's conclusion: cluster size 1 is optimal on average —
+    # larger clusters lose data locality without enough miss-rate gain.
+    geo_c1 = geomean(row["C-1"] for row in completion.values())
+    geo_largest = geomean(row[largest] for row in completion.values())
+    assert geo_c1 <= geo_largest

@@ -1,0 +1,19 @@
+"""Figure 1: LLC access distribution by data class and run-length."""
+
+from conftest import SUBSET
+
+from repro.common.types import LineClass
+from repro.experiments.fig1_runlength import render_fig1, run_fig1
+
+
+def test_fig1_runlength(benchmark, setup):
+    profiles = benchmark.pedantic(
+        run_fig1, args=(setup, SUBSET), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig1(profiles))
+    # Shape checks mirroring the paper's motivation:
+    barnes = profiles["BARNES"]
+    assert barnes.class_fraction(LineClass.SHARED_RW) > 0.5
+    assert barnes.high_reuse_fraction() > 0.5
+    assert profiles["FLUIDANIMATE"].high_reuse_fraction() < barnes.high_reuse_fraction()

@@ -1,0 +1,27 @@
+"""Figure 9: Limited_k classifier sensitivity (k = 1, 3, 5, 7, complete)."""
+
+from repro.experiments.fig9_limitedk import (
+    normalized_tables,
+    render_fig9,
+    run_fig9,
+)
+
+#: A subset of Figure 9's benchmark list (classifier-sensitive cases).
+FIG9_SUBSET = ("BARNES", "STREAMCLUSTER", "LU-NC", "DEDUP")
+
+
+def test_fig9_limitedk(benchmark, setup):
+    results = benchmark.pedantic(
+        run_fig9, args=(setup, FIG9_SUBSET), rounds=1, iterations=1
+    )
+    energy, completion = normalized_tables(results, setup.config.num_cores)
+    print()
+    print(render_fig9(energy, completion))
+    complete = f"k={setup.config.num_cores}"
+    for table in (energy, completion):
+        for row in table.values():
+            assert row[complete] == 1.0
+            # The Limited_3 classifier stays within a modest factor of the
+            # Complete classifier (the paper: within 2% except
+            # STREAMCLUSTER's excursion).
+            assert row["k=3"] < 1.6

@@ -1,0 +1,22 @@
+"""Section 4.2: modified-LRU vs plain LRU LLC replacement."""
+
+from repro.experiments.ablations import (
+    render_replacement_ablation,
+    run_replacement_ablation,
+)
+
+ABLATION_SUBSET = ("BLACKSCHOLES", "FACESIM", "BARNES", "DEDUP")
+
+
+def test_replacement_ablation(benchmark, setup):
+    results = benchmark.pedantic(
+        run_replacement_ablation, args=(setup, ABLATION_SUBSET),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_replacement_ablation(results))
+    # The paper: modified-LRU never loses materially (<= a few percent)
+    # and wins on BLACKSCHOLES / FACESIM.
+    for name, row in results.items():
+        ratio = row["modified_lru"].total_energy / row["lru"].total_energy
+        assert ratio < 1.1, name

@@ -1,0 +1,40 @@
+"""Engine micro-benchmarks: simulated accesses per second per scheme.
+
+These measure the *simulator's* throughput (not the modelled machine),
+which is what a user extending the library cares about when sizing
+experiments.
+"""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.schemes.factory import make_scheme
+from repro.sim.simulator import simulate
+from repro.workloads.benchmarks import build_trace, get_profile
+
+
+@pytest.fixture(scope="module")
+def shared_trace():
+    config = MachineConfig.small()
+    return config, build_trace(get_profile("WATER-NSQ"), config, scale=0.15, seed=1)
+
+
+@pytest.mark.parametrize("scheme", ["S-NUCA", "R-NUCA", "VR", "ASR", "RT-3"])
+def test_scheme_throughput(benchmark, shared_trace, scheme):
+    config, traces = shared_trace
+
+    def run():
+        return simulate(make_scheme(scheme, config), traces)
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert stats.completion_time > 0
+
+
+def test_trace_generation_throughput(benchmark):
+    config = MachineConfig.small()
+
+    def build():
+        return build_trace(get_profile("BARNES"), config, scale=0.5, seed=11)
+
+    traces = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert traces.total_accesses() > 0

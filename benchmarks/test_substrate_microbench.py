@@ -1,0 +1,70 @@
+"""Substrate micro-benchmarks: the hot inner loops of the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cache.array import SetAssociativeCache
+from repro.cache.entries import CacheLine
+from repro.cache.replacement import ModifiedLRUPolicy
+from repro.common.params import CacheGeometry, MachineConfig
+from repro.common.types import MESIState
+from repro.core.classifier import CompleteClassifier, LimitedClassifier
+from repro.network.mesh import Mesh
+
+
+def test_cache_array_churn(benchmark):
+    geometry = CacheGeometry(sets=64, ways=8, index_shift=4)
+    addresses = np.random.default_rng(1).integers(0, 4096, 20000).tolist()
+
+    def churn():
+        cache = SetAssociativeCache(geometry, ModifiedLRUPolicy())
+        for address in addresses:
+            entry = cache.access(address)
+            if entry is None:
+                victim = cache.victim_for(address)
+                if victim is not None:
+                    cache.remove(victim.line_addr)
+                cache.insert(CacheLine(address, MESIState.SHARED))
+        return cache
+
+    cache = benchmark(churn)
+    assert len(cache) <= geometry.lines
+
+
+@pytest.mark.parametrize("kind", ["complete", "limited3"])
+def test_classifier_event_throughput(benchmark, kind):
+    if kind == "complete":
+        classifier = CompleteClassifier(num_cores=64, rt=3, counter_max=3)
+    else:
+        classifier = LimitedClassifier(num_cores=64, rt=3, counter_max=3, k=3)
+    rng = np.random.default_rng(2)
+    cores = rng.integers(0, 64, 5000).tolist()
+
+    def run_events():
+        state = classifier.new_state()
+        for index, core in enumerate(cores):
+            if index % 7 == 0:
+                classifier.on_home_write(state, core, was_only_sharer=False)
+            else:
+                classifier.on_home_read(state, core)
+        return state
+
+    state = run_events()
+    benchmark(run_events)
+    assert state is not None
+
+
+def test_mesh_send_throughput(benchmark):
+    mesh = Mesh(MachineConfig.paper())
+    rng = np.random.default_rng(3)
+    pairs = rng.integers(0, 64, size=(5000, 2)).tolist()
+
+    def send_all():
+        now = 0.0
+        for src, dst in pairs:
+            mesh.send(src, dst, 9, now)
+            now += 1.0
+        return now
+
+    benchmark(send_all)
+    assert mesh.messages_sent > 0

@@ -1,0 +1,33 @@
+"""Tables 1 and 2 plus the Section 2.4.1 storage-overhead table."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.experiments.storage import render_storage, storage_report
+from repro.experiments.tables import render_table1, render_table2
+
+
+def test_table1(benchmark):
+    text = benchmark(render_table1, MachineConfig.paper())
+    print()
+    print(text)
+    assert "64 @ 1 GHz" in text
+    assert "ACKwise_4" in text
+
+
+def test_table2(benchmark):
+    text = benchmark(render_table2)
+    print()
+    print(text)
+    assert "BARNES" in text
+    assert "64K particles" in text
+
+
+def test_storage_overheads(benchmark):
+    report = benchmark(storage_report, MachineConfig.paper())
+    print()
+    print(render_storage(report))
+    assert report.replica_reuse_kb == pytest.approx(1.0)
+    assert report.limited_k_kb == pytest.approx(13.5)
+    assert report.complete_kb == pytest.approx(96.0)
+    assert report.locality_total_kb == pytest.approx(14.5)

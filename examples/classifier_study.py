@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Limited_k classifier study (Section 4.3 / Figure 9).
+
+The Complete classifier stores a replication-mode bit and reuse counter
+for *every* core in every directory entry — 96 KB per 256 KB slice at
+64 cores.  The Limited_k classifier tracks just k cores and majority-
+votes the rest, at 13.5 KB for k = 3.  This example sweeps k on the
+classifier-sensitive STREAMCLUSTER model and prints the quality/storage
+trade-off that led the paper to choose k = 3.
+
+Run with::
+
+    python examples/classifier_study.py
+"""
+
+from repro import MachineConfig
+from repro.experiments.fig9_limitedk import k_label, run_fig9
+from repro.experiments.runner import ExperimentSetup
+from repro.experiments.storage import storage_report
+
+
+def main() -> None:
+    setup = ExperimentSetup(MachineConfig.small(), scale=0.8, seed=3)
+    paper_machine = MachineConfig.paper()
+    benchmarks = ("STREAMCLUSTER", "BARNES", "DEDUP")
+    k_values = (1, 3, 5, 7, None)
+
+    print("Sweeping the Limited_k classifier "
+          f"(k = 1, 3, 5, 7, complete) on {', '.join(benchmarks)}...\n")
+    results = run_fig9(setup, benchmarks, k_values)
+
+    num_cores = setup.config.num_cores
+    complete = k_label(None, num_cores)
+    print(f"{'benchmark':16s}" + "".join(
+        f"{k_label(k, num_cores):>10s}" for k in k_values))
+    for benchmark, row in results.items():
+        base = row[complete].total_energy
+        cells = "".join(
+            f"{row[k_label(k, num_cores)].total_energy / base:>10.3f}"
+            for k in k_values
+        )
+        print(f"{benchmark:16s}{cells}   (energy / Complete)")
+
+    print("\nStorage cost per 256 KB LLC slice on the paper's 64-core machine:")
+    for k in (1, 3, 5, 7):
+        report = storage_report(paper_machine, k=k)
+        print(f"  Limited_{k}: {report.limited_k_kb + report.replica_reuse_kb:5.1f} KB")
+    report = storage_report(paper_machine)
+    print(f"  Complete:  {report.complete_kb + report.replica_reuse_kb:5.1f} KB")
+    print("\nThe paper picks k = 3: within a few percent of Complete almost "
+          "everywhere,\nat 14.5 KB instead of 97 KB per slice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Bring your own workload: define a profile, persist the trace, simulate.
+
+The benchmark catalog is just data — a downstream user studying their
+own application defines a :class:`BenchmarkProfile` with its access mix
+and working-set sizes, builds a deterministic trace, optionally saves it
+to disk for byte-reproducible experiments, and runs it under any scheme.
+
+This example models a producer/consumer pipeline stage: a large shared
+read-mostly dictionary (hot lookups), per-worker private scratch, and a
+small write-shared work queue.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import MachineConfig, make_scheme
+from repro.sim.simulator import simulate
+from repro.workloads.benchmarks import BenchmarkProfile, build_trace
+from repro.workloads.io import load_trace_set, save_trace_set
+
+PIPELINE = BenchmarkProfile(
+    name="PIPELINE",
+    description="Pipeline stage: hot shared dictionary, private scratch, "
+                "write-shared work queue.",
+    f_ifetch=0.05,
+    f_private=0.30,
+    f_shared_ro=0.50,      # the dictionary: replication should shine
+    f_shared_rw=0.15,      # the work queue: contended, low reuse
+    shared_ro_pattern="zipf",
+    zipf_skew=3.0,
+    private_ws_x_l1d=1.5,
+    shared_ro_ws_x_l1d=6.0,
+    shared_rw_ws_x_l1d=0.5,
+    write_frac_rw=0.45,
+    accesses_per_core=4000,
+)
+
+
+def main() -> None:
+    config = MachineConfig.small()
+    traces = build_trace(PIPELINE, config, scale=1.0, seed=11)
+    print(f"Custom workload: {PIPELINE.name} — {PIPELINE.description}")
+    print(f"  {traces.total_accesses():,} accesses, "
+          f"{traces.footprint_lines():,} lines\n")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_trace_set(traces, Path(tmp) / "pipeline.npz")
+        print(f"Trace persisted to {path.name} "
+              f"({path.stat().st_size / 1024:.0f} KB) and reloaded.\n")
+        traces = load_trace_set(path)
+
+    print(f"{'scheme':10s}{'energy (pJ)':>14s}{'time (cyc)':>13s}"
+          f"{'replica hits':>14s}")
+    baseline_energy = None
+    for label in ("S-NUCA", "R-NUCA", "ASR", "RT-3"):
+        engine = make_scheme(label, config)
+        stats = simulate(engine, traces)
+        energy = sum(stats.energy_breakdown(engine.energy_model()).values())
+        if baseline_energy is None:
+            baseline_energy = energy
+        print(f"{label:10s}{energy:>14,.0f}{stats.completion_time:>13,.0f}"
+              f"{stats.miss_breakdown()['LLC-Replica-Hits']:>14.1%}"
+              f"   ({energy / baseline_energy:.3f}x S-NUCA)")
+
+    print("\nThe hot dictionary rewards replication; the write-shared queue")
+    print("does not — the classifier sorts the two apart automatically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one benchmark under two LLC schemes and compare.
+
+Builds the scaled-down 16-core machine, generates the BARNES-like
+workload (high-reuse shared read-write data — the paper's flagship case
+for replicating read-write data), and runs it under the S-NUCA baseline
+and the locality-aware protocol at the paper's best threshold (RT = 3).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MachineConfig, build_trace, get_profile, make_scheme
+from repro.sim.simulator import simulate
+
+
+def main() -> None:
+    config = MachineConfig.small()
+    profile = get_profile("BARNES")
+    print(f"Benchmark: {profile.name} — {profile.description}\n")
+
+    traces = build_trace(profile, config, scale=0.5, seed=1)
+    print(f"Machine: {config.num_cores} cores, "
+          f"{config.llc_slice.capacity_bytes // 1024} KB LLC slice per core")
+    print(f"Trace:   {traces.total_accesses():,} accesses over "
+          f"{traces.footprint_lines():,} distinct lines\n")
+
+    results = {}
+    for label in ("S-NUCA", "RT-3"):
+        engine = make_scheme(label, config)
+        stats = simulate(engine, traces)
+        results[label] = (stats, stats.energy_breakdown(engine.energy_model()))
+
+    header = f"{'':24s}{'S-NUCA':>14s}{'RT-3':>14s}{'ratio':>8s}"
+    print(header)
+    print("-" * len(header))
+
+    baseline_stats, baseline_energy = results["S-NUCA"]
+    locality_stats, locality_energy = results["RT-3"]
+
+    rows = [
+        ("Completion time (cyc)", baseline_stats.completion_time,
+         locality_stats.completion_time),
+        ("Energy (pJ)", sum(baseline_energy.values()), sum(locality_energy.values())),
+        ("Off-chip miss rate", baseline_stats.offchip_miss_rate(),
+         locality_stats.offchip_miss_rate()),
+        ("Replica hit fraction",
+         baseline_stats.miss_breakdown()["LLC-Replica-Hits"],
+         locality_stats.miss_breakdown()["LLC-Replica-Hits"]),
+    ]
+    for name, base, ours in rows:
+        ratio = ours / base if base else float("nan")
+        print(f"{name:24s}{base:>14,.2f}{ours:>14,.2f}{ratio:>8.2f}")
+
+    print("\nLocality-aware protocol activity:")
+    for counter in ("replicas_created", "promotions", "demotions",
+                    "llc_replica_hits", "replica_evictions"):
+        print(f"  {counter:20s} {locality_stats.counters.get(counter, 0):>10,}")
+
+
+if __name__ == "__main__":
+    main()

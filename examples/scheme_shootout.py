@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Five-way LLC management shootout over the paper's behaviour classes.
+
+Runs all evaluated schemes — S-NUCA, R-NUCA, Victim Replication, ASR
+(best level) and the locality-aware protocol (RT-3) — over one
+representative benchmark from each behaviour class the paper's Section
+4.1 discusses, and prints the normalized energy/time matrix plus who
+won each benchmark and why.
+
+Run with::
+
+    python examples/scheme_shootout.py [--scale 0.5]
+"""
+
+import argparse
+
+from repro import MachineConfig
+from repro.experiments.comparison import run_comparison
+from repro.experiments.runner import ExperimentSetup
+
+CASES = {
+    "BARNES": "shared read-write reuse: only line-level replication helps",
+    "DEDUP": "pure private data: R-NUCA placement is already optimal",
+    "LU-NC": "migratory data: needs E/M replicas (ASR cannot help)",
+    "FLUIDANIMATE": "streaming beyond LLC capacity: replication must be filtered",
+    "STREAMCLUSTER": "shared read-only reuse: ASR's best case, RT-3 close behind",
+    "BLACKSCHOLES": "page-level false sharing: defeats R-NUCA's classification",
+}
+
+SCHEMES = ("S-NUCA", "R-NUCA", "VR", "ASR", "RT-3")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="trace-length multiplier (default 0.5)")
+    args = parser.parse_args()
+
+    setup = ExperimentSetup(MachineConfig.small(), scale=args.scale, seed=1)
+    print(f"Running {len(SCHEMES)} schemes x {len(CASES)} benchmarks "
+          f"(scale {args.scale:g})...\n")
+    results = run_comparison(setup, benchmarks=CASES, schemes=SCHEMES)
+
+    print(f"{'benchmark':14s}" + "".join(f"{scheme:>10s}" for scheme in SCHEMES)
+          + "   energy normalized to S-NUCA")
+    for benchmark, row in results.items():
+        base = row["S-NUCA"].total_energy
+        cells = "".join(f"{row[s].total_energy / base:>10.3f}" for s in SCHEMES)
+        print(f"{benchmark:14s}{cells}")
+
+    print(f"\n{'benchmark':14s}" + "".join(f"{scheme:>10s}" for scheme in SCHEMES)
+          + "   completion time normalized to S-NUCA")
+    for benchmark, row in results.items():
+        base = row["S-NUCA"].completion_time
+        cells = "".join(f"{row[s].completion_time / base:>10.3f}" for s in SCHEMES)
+        print(f"{benchmark:14s}{cells}")
+
+    print("\nWhy each benchmark behaves the way it does:")
+    for benchmark, reason in CASES.items():
+        row = results[benchmark]
+        winner = min(SCHEMES, key=lambda s: row[s].total_energy)
+        print(f"  {benchmark:14s} winner: {winner:7s} — {reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Locality-aware data replication in the last-level cache (HPCA 2014).
+
+A full-system reproduction of Kurian, Devadas and Khan's locality-aware
+selective LLC replication protocol, including the tiled-multicore
+simulation substrate (L1/LLC caches, ACKwise directory coherence, 2-D
+mesh, DRAM, energy models), the four baseline LLC management schemes it
+is evaluated against, the 21-benchmark synthetic workload catalog, and
+the harnesses that regenerate every figure and table in the paper.
+
+Quick start::
+
+    from repro import MachineConfig, make_scheme, build_trace, get_profile
+    from repro.sim.simulator import simulate
+
+    config = MachineConfig.small()
+    traces = build_trace(get_profile("BARNES"), config, seed=1)
+    stats = simulate(make_scheme("RT-3", config), traces)
+    print(stats.summary())
+"""
+
+from repro.common.params import CacheGeometry, MachineConfig
+from repro.common.types import AccessType, LineClass, MESIState, MissStatus
+from repro.schemes.factory import FIGURE_SCHEMES, make_scheme
+from repro.sim.stats import SimStats
+from repro.workloads.benchmarks import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    BenchmarkProfile,
+    build_trace,
+    get_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessType",
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "BenchmarkProfile",
+    "CacheGeometry",
+    "FIGURE_SCHEMES",
+    "LineClass",
+    "MESIState",
+    "MachineConfig",
+    "MissStatus",
+    "SimStats",
+    "build_trace",
+    "get_profile",
+    "make_scheme",
+    "__version__",
+]

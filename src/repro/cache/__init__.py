@@ -1,0 +1,26 @@
+"""Cache structures: set-associative arrays, L1 caches and LLC slices."""
+
+from repro.cache.array import SetAssociativeCache
+from repro.cache.entries import CacheLine, HomeEntry, L1Line, ReplicaEntry
+from repro.cache.l1 import L1Cache
+from repro.cache.llc import LLCSlice
+from repro.cache.replacement import (
+    LRUPolicy,
+    ModifiedLRUPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "CacheLine",
+    "HomeEntry",
+    "L1Cache",
+    "L1Line",
+    "LLCSlice",
+    "LRUPolicy",
+    "ModifiedLRUPolicy",
+    "ReplacementPolicy",
+    "ReplicaEntry",
+    "SetAssociativeCache",
+    "make_policy",
+]

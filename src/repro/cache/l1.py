@@ -1,0 +1,88 @@
+"""Private L1 instruction/data cache model.
+
+L1 caches are plain LRU set-associative caches holding MESI-stated lines.
+They never make coherence decisions themselves: the protocol layer calls
+:meth:`insert`, :meth:`invalidate` and :meth:`downgrade` as directed by
+the home directory, and handles the victim returned by :meth:`insert`
+(an L1 eviction probes the local LLC slice — Section 2.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.array import SetAssociativeCache
+from repro.cache.entries import L1Line
+from repro.cache.replacement import LRUPolicy
+from repro.common.params import CacheGeometry
+from repro.common.types import MESIState
+
+
+class L1Cache:
+    """One private L1 cache (instruction or data)."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self._array = SetAssociativeCache(geometry, LRUPolicy())
+
+    # -- lookups --------------------------------------------------------------
+    def lookup(self, line_addr: int) -> Optional[L1Line]:
+        """Peek without updating LRU state."""
+        entry = self._array.lookup(line_addr)
+        assert entry is None or isinstance(entry, L1Line)
+        return entry
+
+    def probe_hit(self, line_addr: int, write: bool) -> Optional[L1Line]:
+        """Return the entry if the access hits with sufficient permission.
+
+        A write against a SHARED copy is *not* a hit (it needs an upgrade
+        through the home directory), matching Section 2.2.2.
+        """
+        entry = self._array.access(line_addr)
+        if entry is None:
+            return None
+        if write and not entry.state.writable:
+            return None
+        return entry
+
+    # -- modification ---------------------------------------------------------
+    def insert(self, line_addr: int, state: MESIState) -> tuple[L1Line, Optional[L1Line]]:
+        """Insert (or update) a line; returns ``(entry, evicted_victim)``."""
+        existing = self._array.lookup(line_addr)
+        if existing is not None:
+            existing.state = state
+            self._array.touch(existing)
+            return existing, None
+        victim = self._array.victim_for(line_addr)
+        if victim is not None:
+            self._array.remove(victim.line_addr)
+        entry = L1Line(line_addr, state)
+        self._array.insert(entry)
+        assert victim is None or isinstance(victim, L1Line)
+        return entry, victim
+
+    def invalidate(self, line_addr: int) -> Optional[L1Line]:
+        """Remove the line; returns the removed entry (dirty flag intact)."""
+        entry = self._array.remove(line_addr)
+        assert entry is None or isinstance(entry, L1Line)
+        return entry
+
+    def downgrade(self, line_addr: int) -> bool:
+        """Drop M/E to S for a read by another core; True if data was dirty."""
+        entry = self._array.lookup(line_addr)
+        if entry is None:
+            return False
+        was_dirty = entry.dirty or entry.state == MESIState.MODIFIED
+        entry.state = MESIState.SHARED
+        entry.dirty = False
+        return was_dirty
+
+    # -- inspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def __iter__(self):
+        return iter(self._array)
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return self._array.geometry

@@ -1,0 +1,25 @@
+"""Coherence substrate: sharer tracking and MESI transition helpers."""
+
+from repro.coherence.mesi import (
+    merged_state,
+    needs_downgrade,
+    needs_writeback,
+    read_grant_state,
+    write_grant_state,
+)
+from repro.coherence.sharers import (
+    AckwiseSharers,
+    FullMapSharers,
+    make_sharer_tracker,
+)
+
+__all__ = [
+    "AckwiseSharers",
+    "FullMapSharers",
+    "make_sharer_tracker",
+    "merged_state",
+    "needs_downgrade",
+    "needs_writeback",
+    "read_grant_state",
+    "write_grant_state",
+]

@@ -1,0 +1,44 @@
+"""MESI grant/transition helpers for the home directory.
+
+The directory logic itself (who to invalidate, where data comes from)
+lives in the protocol engine; these pure functions centralize the MESI
+*state* decisions so they can be unit-tested in isolation and shared by
+every LLC management scheme.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import MESIState
+
+
+def read_grant_state(sharers_after_grant: int) -> MESIState:
+    """State granted to a reader.
+
+    A sole sharer receives EXCLUSIVE (silent-upgrade optimization);
+    otherwise SHARED.  ``sharers_after_grant`` counts the requester.
+    """
+    if sharers_after_grant < 1:
+        raise ValueError("grant must include the requester")
+    if sharers_after_grant == 1:
+        return MESIState.EXCLUSIVE
+    return MESIState.SHARED
+
+
+def write_grant_state() -> MESIState:
+    """Writers always receive MODIFIED."""
+    return MESIState.MODIFIED
+
+
+def merged_state(local: MESIState, granted: MESIState) -> MESIState:
+    """Combine an existing copy's state with a new grant (max permission)."""
+    return max(local, granted)
+
+
+def needs_downgrade(state: MESIState) -> bool:
+    """Whether a remote copy in ``state`` must be downgraded for a read."""
+    return state.writable
+
+
+def needs_writeback(state: MESIState, dirty: bool) -> bool:
+    """Whether evicting/invalidating a copy in ``state`` moves dirty data."""
+    return dirty or state == MESIState.MODIFIED

@@ -1,0 +1,152 @@
+"""Sharer-tracking structures for the in-cache directory.
+
+Two organizations are provided:
+
+* :class:`FullMapSharers` — one presence bit per core (the classic
+  full-map directory the paper uses as a storage yardstick in Section 2.4).
+* :class:`AckwiseSharers` — the ACKwise_p limited directory the baseline
+  system uses (Section 2.1): up to ``p`` precise hardware pointers; when a
+  ``p+1``-th sharer arrives, the entry falls back to *broadcast mode*,
+  keeping only an exact sharer **count** so invalidation acknowledgements
+  can be tallied without knowing identities.
+
+The simulator always knows ground truth (the ``members`` set), but the
+protocol layer must only rely on what the hardware would know: when
+:attr:`precise` is ``False``, invalidations are broadcast to every core
+and the directory waits for ``count`` acknowledgements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class FullMapSharers:
+    """Full-map bit-vector sharer tracking (precise at any sharer count)."""
+
+    __slots__ = ("_members",)
+
+    def __init__(self) -> None:
+        self._members: set[int] = set()
+
+    @property
+    def count(self) -> int:
+        return len(self._members)
+
+    @property
+    def precise(self) -> bool:
+        return True
+
+    def members(self) -> frozenset[int]:
+        return frozenset(self._members)
+
+    def add(self, core: int) -> None:
+        self._members.add(core)
+
+    def remove(self, core: int) -> None:
+        self._members.discard(core)
+
+    def clear(self) -> None:
+        self._members.clear()
+
+    def __contains__(self, core: int) -> bool:
+        return core in self._members
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._members)
+
+    @staticmethod
+    def storage_bits(num_cores: int) -> int:
+        """Directory storage per LLC entry, in bits."""
+        return num_cores
+
+
+class AckwiseSharers:
+    """ACKwise_p limited directory entry.
+
+    ``pointers`` mirrors the hardware pointer file.  Once overflowed, the
+    entry stays in broadcast mode until every sharer is gone — hardware
+    cannot reconstruct pointer state for the sharers it stopped tracking.
+    """
+
+    __slots__ = ("_pointers", "_members", "_overflowed", "num_pointers")
+
+    def __init__(self, num_pointers: int) -> None:
+        if num_pointers < 1:
+            raise ValueError("ACKwise needs at least one pointer")
+        self.num_pointers = num_pointers
+        self._pointers: set[int] = set()
+        self._members: set[int] = set()
+        self._overflowed = False
+
+    # -- hardware-visible state -------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Exact sharer count (ACKwise always tracks the count)."""
+        return len(self._members)
+
+    @property
+    def precise(self) -> bool:
+        """Whether the hardware knows every sharer's identity."""
+        return not self._overflowed
+
+    def pointers(self) -> frozenset[int]:
+        """The cores the hardware pointer file identifies."""
+        return frozenset(self._pointers)
+
+    # -- ground truth (simulation bookkeeping) ----------------------------------
+    def members(self) -> frozenset[int]:
+        return frozenset(self._members)
+
+    # -- mutation -----------------------------------------------------------------
+    def add(self, core: int) -> None:
+        if core in self._members:
+            return
+        self._members.add(core)
+        if self._overflowed:
+            return
+        if len(self._pointers) < self.num_pointers:
+            self._pointers.add(core)
+        else:
+            self._overflowed = True
+            self._pointers.clear()
+
+    def remove(self, core: int) -> None:
+        self._members.discard(core)
+        self._pointers.discard(core)
+        if self._overflowed and not self._members:
+            self._overflowed = False
+
+    def clear(self) -> None:
+        self._members.clear()
+        self._pointers.clear()
+        self._overflowed = False
+
+    def __contains__(self, core: int) -> bool:
+        return core in self._members
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._members)
+
+    def invalidation_targets(self, num_cores: int) -> Iterable[int]:
+        """Cores the hardware must send invalidations to.
+
+        Precise mode unicasts to the tracked sharers; broadcast mode sends
+        to every core in the machine.
+        """
+        if self.precise:
+            return self.members()
+        return range(num_cores)
+
+    @staticmethod
+    def storage_bits(num_cores: int, num_pointers: int) -> int:
+        """Directory storage per LLC entry, in bits (Section 2.4.1)."""
+        pointer_bits = max(1, (num_cores - 1).bit_length())
+        return num_pointers * pointer_bits
+
+
+def make_sharer_tracker(num_cores: int, ackwise_pointers: int | None):
+    """Factory: ACKwise_p when ``ackwise_pointers`` is set, else full map."""
+    if ackwise_pointers is None:
+        return FullMapSharers()
+    return AckwiseSharers(ackwise_pointers)

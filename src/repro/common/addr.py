@@ -1,0 +1,80 @@
+"""Address-space helpers.
+
+The simulator operates at cache-line granularity: every address handled by
+the memory system is a *line address* (byte address >> 6 for 64-byte lines).
+Workload generators allocate disjoint line-address regions per data class;
+these helpers centralize that layout so regions can never collide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """A contiguous range of line addresses ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("region size must be non-negative")
+        if self.base < 0:
+            raise ValueError("region base must be non-negative")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def __contains__(self, line_addr: int) -> bool:
+        return self.base <= line_addr < self.end
+
+    def line(self, offset: int) -> int:
+        """The line address at ``offset`` within the region."""
+        if not 0 <= offset < self.size:
+            raise IndexError(f"offset {offset} outside region of size {self.size}")
+        return self.base + offset
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class RegionAllocator:
+    """Carves disjoint, page-aligned regions out of a flat address space.
+
+    Page alignment matters: R-NUCA classifies at page granularity, so a
+    region intended as one core's private data must not share a page with
+    another core's region (unless a workload *wants* page-level false
+    sharing, which it requests explicitly via ``allocate_unaligned``).
+    """
+
+    def __init__(self, lines_per_page: int = 64) -> None:
+        if lines_per_page <= 0:
+            raise ValueError("lines_per_page must be positive")
+        self._lines_per_page = lines_per_page
+        self._next_line = 0
+
+    def allocate(self, size: int) -> Region:
+        """Allocate a page-aligned region of ``size`` lines."""
+        base = self._align_up(self._next_line)
+        self._next_line = base + size
+        return Region(base, size)
+
+    def allocate_unaligned(self, size: int) -> Region:
+        """Allocate without page alignment (for false-sharing workloads)."""
+        base = self._next_line
+        self._next_line = base + size
+        return Region(base, size)
+
+    def allocate_many(self, count: int, size: int) -> list[Region]:
+        """Allocate ``count`` page-aligned regions of ``size`` lines each."""
+        return [self.allocate(size) for _ in itertools.repeat(None, count)]
+
+    def _align_up(self, line: int) -> int:
+        remainder = line % self._lines_per_page
+        if remainder:
+            return line + self._lines_per_page - remainder
+        return line

@@ -1,0 +1,52 @@
+"""Small hardware-counter primitives used throughout the protocol.
+
+The paper's reuse counters are *saturating* counters (2 bits by default,
+Section 2.4.1): increments stop at the maximum value and the counter can be
+reset.  Keeping this in one place lets the classifier, replica entries and
+tests share identical semantics.
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An unsigned saturating counter with a fixed maximum value."""
+
+    __slots__ = ("_value", "_max")
+
+    def __init__(self, max_value: int, initial: int = 0) -> None:
+        if max_value < 1:
+            raise ValueError("max_value must be >= 1")
+        if not 0 <= initial <= max_value:
+            raise ValueError(f"initial {initial} outside [0, {max_value}]")
+        self._max = max_value
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def max_value(self) -> int:
+        return self._max
+
+    def increment(self, amount: int = 1) -> int:
+        """Saturating add; returns the new value."""
+        if amount < 0:
+            raise ValueError("increment amount must be non-negative")
+        self._value = min(self._max, self._value + amount)
+        return self._value
+
+    def reset(self, value: int = 0) -> None:
+        if not 0 <= value <= self._max:
+            raise ValueError(f"reset value {value} outside [0, {self._max}]")
+        self._value = value
+
+    def saturated(self) -> bool:
+        return self._value == self._max
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter({self._value}/{self._max})"

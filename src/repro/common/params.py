@@ -1,0 +1,221 @@
+"""Machine configuration — the architectural parameters of Table 1.
+
+:class:`MachineConfig` captures every knob the paper's evaluation fixes:
+core count, cache geometries and latencies, directory protocol, network and
+DRAM characteristics, plus the locality-aware protocol parameters
+(replication threshold, classifier, cluster size).
+
+Two canonical configurations are provided:
+
+* :meth:`MachineConfig.paper` — the 64-core Table 1 machine.
+* :meth:`MachineConfig.small` — a scaled-down machine (same geometry
+  *ratios*) used by the test-suite and the pytest benchmarks so the pure
+  Python simulator stays fast.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative cache (line counts, not bytes).
+
+    ``index_shift > 0`` enables XOR-hash set indexing,
+    ``set = (line ^ (line >> shift)) mod sets``, used for LLC slices.
+    Plain low-bit indexing would alias badly in a distributed LLC: an
+    S-NUCA slice only ever sees lines with ``line % num_cores == slice``
+    (low bits fixed → 1/num_cores of the sets used), while R-NUCA places
+    *contiguous* private regions in one slice (high bits fixed under a
+    purely shifted index).  Folding both bit ranges spreads either
+    pattern over all sets — the standard hashed-index remedy.  The
+    protocol engine applies the shift automatically when building slices.
+    """
+
+    sets: int
+    ways: int
+    line_bytes: int = 64
+    index_shift: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sets <= 0 or self.sets & (self.sets - 1):
+            raise ValueError(f"sets must be a positive power of two, got {self.sets}")
+        if self.ways <= 0:
+            raise ValueError(f"ways must be positive, got {self.ways}")
+        if self.index_shift < 0:
+            raise ValueError(f"index_shift must be non-negative, got {self.index_shift}")
+
+    @property
+    def lines(self) -> int:
+        return self.sets * self.ways
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.lines * self.line_bytes
+
+    def set_index(self, line_addr: int) -> int:
+        """Map a line address to its set index."""
+        if self.index_shift:
+            return (line_addr ^ (line_addr >> self.index_shift)) & (self.sets - 1)
+        return line_addr & (self.sets - 1)
+
+    def with_index_shift(self, shift: int) -> "CacheGeometry":
+        return dataclasses.replace(self, index_shift=shift)
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineConfig:
+    """Full machine description (Table 1 plus protocol parameters)."""
+
+    # -- topology -----------------------------------------------------------
+    num_cores: int = 64
+    frequency_ghz: float = 1.0
+
+    # -- caches -------------------------------------------------------------
+    l1i: CacheGeometry = CacheGeometry(sets=64, ways=4)    # 16 KB, 4-way
+    l1d: CacheGeometry = CacheGeometry(sets=128, ways=4)   # 32 KB, 4-way
+    llc_slice: CacheGeometry = CacheGeometry(sets=512, ways=8)  # 256 KB, 8-way
+    l1_latency: int = 1
+    llc_tag_latency: int = 2
+    llc_data_latency: int = 4
+
+    # -- coherence ----------------------------------------------------------
+    ackwise_pointers: int = 4
+    #: Use the paper's modified-LRU LLC replacement (Section 2.2.4).
+    llc_modified_lru: bool = True
+    #: Temporal Locality Hints (Jaleel et al. [15]) — the prior approach
+    #: Section 2.2.4 rejects: periodic L1-hit hint messages keep the LLC's
+    #: plain-LRU state warm at the cost of extra network traffic.  When
+    #: enabled, the LLC uses plain LRU plus hints (for the ablation bench).
+    tla_hints: bool = False
+    #: Send one hint per this many L1 hits.
+    tla_hint_interval: int = 16
+
+    # -- network ------------------------------------------------------------
+    hop_latency: int = 2           # 1 router + 1 link cycle per hop
+    flit_width_bits: int = 64
+    cache_line_flits: int = 8      # 512-bit line / 64-bit flits
+    header_flits: int = 1
+
+    # -- DRAM ---------------------------------------------------------------
+    num_mem_controllers: int = 8
+    dram_latency_ns: float = 75.0
+    dram_bandwidth_gbps: float = 5.0   # per controller, GB/s
+
+    # -- locality-aware protocol (Section 2) ---------------------------------
+    replication_threshold: int = 3
+    #: Number of cores tracked by the Limited_k classifier; ``None`` selects
+    #: the Complete classifier.
+    classifier_k: int | None = 3
+    #: Saturating-counter width for reuse counters (2 bits in the paper).
+    reuse_counter_bits: int = 2
+    #: Cluster size for cluster-level replication (Section 2.3.4); 1 places
+    #: replicas in the requester's own slice.
+    cluster_size: int = 1
+    #: Classifier organization (Section 2.3.3): "incache" extends every
+    #: LLC tag with classifier state; "sparse" keeps a decoupled
+    #: fixed-capacity side table per slice (a second CAM lookup per
+    #: access, and classifier state is lost on side-table eviction).
+    classifier_organization: str = "incache"
+    #: Side-table entries per LLC slice for the sparse organization.
+    sparse_classifier_entries: int = 1024
+
+    # -- address layout -----------------------------------------------------
+    page_bytes: int = 4096
+    physical_address_bits: int = 48
+
+    def __post_init__(self) -> None:
+        side = math.isqrt(self.num_cores)
+        if side * side != self.num_cores:
+            raise ValueError(
+                f"num_cores must be a perfect square for a 2-D mesh, got {self.num_cores}"
+            )
+        if self.num_mem_controllers > self.num_cores:
+            raise ValueError("more memory controllers than cores")
+        if self.replication_threshold < 1:
+            raise ValueError("replication threshold must be >= 1")
+        if self.classifier_k is not None and self.classifier_k < 1:
+            raise ValueError("classifier_k must be >= 1 or None")
+        cluster = self.cluster_size
+        if cluster < 1 or self.num_cores % cluster:
+            raise ValueError(f"cluster_size {cluster} must divide num_cores")
+        cside = math.isqrt(cluster)
+        if cside * cside != cluster:
+            raise ValueError("cluster_size must be a perfect square (sub-mesh)")
+        if self.classifier_organization not in ("incache", "sparse"):
+            raise ValueError(
+                f"classifier_organization must be 'incache' or 'sparse', "
+                f"got {self.classifier_organization!r}"
+            )
+        if self.sparse_classifier_entries < 1:
+            raise ValueError("sparse_classifier_entries must be positive")
+        if self.tla_hint_interval < 1:
+            raise ValueError("tla_hint_interval must be positive")
+
+    # -- derived quantities ---------------------------------------------------
+    @property
+    def mesh_side(self) -> int:
+        return math.isqrt(self.num_cores)
+
+    @property
+    def dram_latency_cycles(self) -> int:
+        return round(self.dram_latency_ns * self.frequency_ghz)
+
+    @property
+    def dram_service_cycles(self) -> int:
+        """Cycles a controller is occupied transferring one cache line."""
+        bytes_per_cycle = self.dram_bandwidth_gbps / self.frequency_ghz
+        return max(1, round(self.llc_slice.line_bytes / bytes_per_cycle))
+
+    @property
+    def lines_per_page(self) -> int:
+        return self.page_bytes // self.llc_slice.line_bytes
+
+    @property
+    def reuse_counter_max(self) -> int:
+        return (1 << self.reuse_counter_bits) - 1
+
+    def page_of(self, line_addr: int) -> int:
+        return line_addr // self.lines_per_page
+
+    # -- canonical configurations -------------------------------------------
+    @classmethod
+    def paper(cls, **overrides) -> "MachineConfig":
+        """The 64-core Table 1 machine."""
+        return cls(**overrides)
+
+    @classmethod
+    def small(cls, **overrides) -> "MachineConfig":
+        """A 16-core machine with 1/8-size caches for fast tests/benches.
+
+        Geometry ratios (L1-I : L1-D : LLC slice = 1 : 2 : 16) match the
+        paper configuration so qualitative pressure effects are preserved.
+        """
+        defaults = dict(
+            num_cores=16,
+            l1i=CacheGeometry(sets=8, ways=4),
+            l1d=CacheGeometry(sets=16, ways=4),
+            llc_slice=CacheGeometry(sets=64, ways=8),
+            num_mem_controllers=4,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def tiny(cls, **overrides) -> "MachineConfig":
+        """A 4-core machine for unit tests that need hand-traceable state."""
+        defaults = dict(
+            num_cores=4,
+            l1i=CacheGeometry(sets=2, ways=2),
+            l1d=CacheGeometry(sets=4, ways=2),
+            llc_slice=CacheGeometry(sets=8, ways=4),
+            num_mem_controllers=2,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def with_overrides(self, **overrides) -> "MachineConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)

@@ -1,0 +1,83 @@
+"""Core enumerations shared across the simulator.
+
+These types intentionally mirror the vocabulary of the paper:
+
+* :class:`AccessType` — the three kinds of memory references a core issues.
+* :class:`MESIState` — private-cache / replica coherence states.
+* :class:`LineClass` — the four data classes of Figure 1 (instructions,
+  private data, shared read-only data, shared read-write data).
+* :class:`MissStatus` — where an L1 miss was serviced (Figure 8 categories).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessType(enum.IntEnum):
+    """Kind of memory reference issued by a core."""
+
+    READ = 0
+    WRITE = 1
+    IFETCH = 2
+    #: Pseudo-access marking a synchronization barrier in a trace.
+    BARRIER = 3
+
+
+class MESIState(enum.IntEnum):
+    """MESI coherence states for L1 lines and LLC replicas.
+
+    Ordering is meaningful: ``state >= MESIState.EXCLUSIVE`` means the
+    holder has write permission (single-writer invariant).
+    """
+
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+
+    @property
+    def writable(self) -> bool:
+        """Whether a holder in this state may write without upgrading."""
+        return self >= MESIState.EXCLUSIVE
+
+    @property
+    def valid(self) -> bool:
+        return self != MESIState.INVALID
+
+
+class LineClass(enum.IntEnum):
+    """Data classification used by the Figure 1 profiler and workloads."""
+
+    PRIVATE = 0
+    INSTRUCTION = 1
+    SHARED_RO = 2
+    SHARED_RW = 3
+
+    @property
+    def label(self) -> str:
+        return _LINE_CLASS_LABELS[self]
+
+
+_LINE_CLASS_LABELS = {
+    LineClass.PRIVATE: "Private",
+    LineClass.INSTRUCTION: "Instruction",
+    LineClass.SHARED_RO: "Shared Read-Only",
+    LineClass.SHARED_RW: "Shared Read-Write",
+}
+
+
+class MissStatus(enum.IntEnum):
+    """Where an L1 miss was serviced (Figure 8 / Section 3.4 categories)."""
+
+    L1_HIT = 0
+    LLC_REPLICA_HIT = 1
+    LLC_HOME_HIT = 2
+    OFF_CHIP_MISS = 3
+
+
+class ReplicationMode(enum.IntEnum):
+    """Per-(line, core) replication mode of the locality classifier (Fig. 3)."""
+
+    NON_REPLICA = 0
+    REPLICA = 1

@@ -1,0 +1,23 @@
+"""The paper's primary contribution: locality classification for LLC replication."""
+
+from repro.core.classifier import (
+    ClassifierState,
+    CompleteClassifier,
+    CompleteState,
+    LimitedClassifier,
+    LimitedState,
+    LocalityClassifier,
+    TrackedCore,
+    make_classifier,
+)
+
+__all__ = [
+    "ClassifierState",
+    "CompleteClassifier",
+    "CompleteState",
+    "LimitedClassifier",
+    "LimitedState",
+    "LocalityClassifier",
+    "TrackedCore",
+    "make_classifier",
+]

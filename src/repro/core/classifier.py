@@ -1,0 +1,347 @@
+"""Locality classifiers — the heart of the paper (Sections 2.2.1–2.2.5).
+
+Every LLC home directory entry carries per-core *replication mode* bits
+and *home reuse* saturating counters (Figure 4).  The classifier drives
+the Figure 3 state machine:
+
+* every core starts as a **non-replica** sharer of every line;
+* a read serviced at the home increments the requester's home-reuse
+  counter; reaching the Replication Threshold (RT) **promotes** the core
+  to replica mode (future fills create a local LLC replica);
+* on an **invalidation**, the core keeps replica status iff
+  ``replica_reuse + home_reuse >= RT`` (total reuse between writes);
+* on a replica **eviction**, the test is ``replica_reuse >= RT`` alone
+  (the replica counter captured all local reuse);
+* the write path resets the home-reuse counters of non-replica sharers
+  other than the writer, and gives the writer a migratory-friendly rule:
+  increment if it was the only sharer, else reset to 1 (Section 2.2.2).
+
+Two implementations:
+
+* :class:`CompleteClassifier` — mode + counter for all ``n`` cores
+  (30% LLC storage overhead at 64 cores, Section 2.4.1);
+* :class:`LimitedClassifier` — the Limited_k optimization (Section 2.2.5):
+  track ``k`` cores; replace only *inactive* tracked sharers; classify
+  untracked cores by majority vote of tracked modes (ties conservative:
+  non-replica).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from repro.common.types import ReplicationMode
+
+
+class ClassifierState(abc.ABC):
+    """Per-directory-entry classifier state."""
+
+    @abc.abstractmethod
+    def mode(self, core: int) -> ReplicationMode:
+        """Current replication mode of ``core`` for this line."""
+
+    @abc.abstractmethod
+    def home_reuse(self, core: int) -> int:
+        """Current home-reuse counter value of ``core`` (0 if untracked)."""
+
+
+class LocalityClassifier(abc.ABC):
+    """Classifier policy: creates and updates per-entry state.
+
+    ``rt`` is the Replication Threshold; ``counter_max`` the saturating
+    limit of the reuse counters (3 for the paper's 2-bit counters — note
+    RT=3 is reachable exactly at saturation, and the RT-8 sweep point uses
+    wider counters).
+    """
+
+    def __init__(self, num_cores: int, rt: int, counter_max: int) -> None:
+        if counter_max < rt:
+            # Counters must be able to reach RT or promotion never fires.
+            counter_max = rt
+        self.num_cores = num_cores
+        self.rt = rt
+        self.counter_max = counter_max
+
+    # -- state factory ------------------------------------------------------------
+    @abc.abstractmethod
+    def new_state(self) -> ClassifierState:
+        """Fresh classifier state for a newly allocated directory entry."""
+
+    # -- protocol events ------------------------------------------------------------
+    @abc.abstractmethod
+    def on_home_read(self, state: ClassifierState, core: int) -> bool:
+        """A read by ``core`` was serviced at the home location.
+
+        Returns True when a replica should be created in the requester's
+        LLC slice (mode already REPLICA, or promotion just happened).
+        """
+
+    @abc.abstractmethod
+    def on_home_write(
+        self, state: ClassifierState, writer: int, was_only_sharer: bool
+    ) -> bool:
+        """A write by ``writer`` is being serviced at the home.
+
+        Applies the Section 2.2.2 writer rule and returns True when the
+        (possibly just-promoted) writer should receive an M-state replica
+        — this is what enables migratory-data replication.
+        """
+
+    @abc.abstractmethod
+    def on_write_reset_others(
+        self, state: ClassifierState, writer: int, sharers: "frozenset[int] | set[int]"
+    ) -> None:
+        """After a write: reset home-reuse of all non-replica *sharers*
+        except the writer (they have not shown enough reuse — Section 2.2.2)."""
+
+    @abc.abstractmethod
+    def on_invalidation(self, state: ClassifierState, core: int, replica_reuse: int) -> None:
+        """``core``'s replica was invalidated; keep replica status iff
+        ``replica_reuse + home_reuse >= RT``, then zero the home counter."""
+
+    @abc.abstractmethod
+    def on_replica_eviction(self, state: ClassifierState, core: int, replica_reuse: int) -> None:
+        """``core``'s replica was evicted (capacity); keep replica status
+        iff ``replica_reuse >= RT``, then zero the home counter."""
+
+    def mark_inactive_nonreplicas(self, state: ClassifierState, writer: int) -> None:
+        """Limited_k hook: non-replica cores become inactive on a write by
+        another core (eligible for entry replacement)."""
+
+
+# ---------------------------------------------------------------------------
+# Complete classifier
+# ---------------------------------------------------------------------------
+
+
+class CompleteState(ClassifierState):
+    """Mode bit + home-reuse counter per core (Figure 4)."""
+
+    __slots__ = ("modes", "counters")
+
+    def __init__(self, num_cores: int) -> None:
+        self.modes = [ReplicationMode.NON_REPLICA] * num_cores
+        self.counters = [0] * num_cores
+
+    def mode(self, core: int) -> ReplicationMode:
+        return self.modes[core]
+
+    def home_reuse(self, core: int) -> int:
+        return self.counters[core]
+
+
+class CompleteClassifier(LocalityClassifier):
+    """Tracks locality for every core in the machine."""
+
+    def new_state(self) -> CompleteState:
+        return CompleteState(self.num_cores)
+
+    def on_home_read(self, state: CompleteState, core: int) -> bool:
+        if state.modes[core] == ReplicationMode.REPLICA:
+            return True
+        state.counters[core] = min(self.counter_max, state.counters[core] + 1)
+        if state.counters[core] >= self.rt:
+            state.modes[core] = ReplicationMode.REPLICA
+            return True
+        return False
+
+    def on_home_write(self, state: CompleteState, writer: int, was_only_sharer: bool) -> bool:
+        if state.modes[writer] == ReplicationMode.REPLICA:
+            return True
+        if was_only_sharer:
+            state.counters[writer] = min(self.counter_max, state.counters[writer] + 1)
+        else:
+            state.counters[writer] = 1
+        if state.counters[writer] >= self.rt:
+            state.modes[writer] = ReplicationMode.REPLICA
+            return True
+        return False
+
+    def on_write_reset_others(
+        self, state: CompleteState, writer: int, sharers
+    ) -> None:
+        for core in sharers:
+            if core != writer and state.modes[core] == ReplicationMode.NON_REPLICA:
+                state.counters[core] = 0
+
+    def on_invalidation(self, state: CompleteState, core: int, replica_reuse: int) -> None:
+        total = replica_reuse + state.counters[core]
+        if total < self.rt:
+            state.modes[core] = ReplicationMode.NON_REPLICA
+        state.counters[core] = 0
+
+    def on_replica_eviction(self, state: CompleteState, core: int, replica_reuse: int) -> None:
+        if replica_reuse < self.rt:
+            state.modes[core] = ReplicationMode.NON_REPLICA
+        state.counters[core] = 0
+
+
+# ---------------------------------------------------------------------------
+# Limited_k classifier
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class TrackedCore:
+    """One slot of the limited locality list (Figure 5)."""
+
+    core: int
+    mode: ReplicationMode = ReplicationMode.NON_REPLICA
+    reuse: int = 0
+    #: An inactive sharer may relinquish its slot (Section 2.2.5): replica
+    #: cores go inactive on LLC invalidation/eviction; non-replica cores
+    #: go inactive on a write by another core.
+    active: bool = True
+
+
+class LimitedState(ClassifierState):
+    """Locality list tracking at most ``k`` cores."""
+
+    __slots__ = ("slots", "k")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.slots: list[TrackedCore] = []
+
+    def find(self, core: int) -> TrackedCore | None:
+        for slot in self.slots:
+            if slot.core == core:
+                return slot
+        return None
+
+    def majority_mode(self) -> ReplicationMode:
+        """Majority vote of tracked modes; ties and empty list → non-replica."""
+        replicas = sum(1 for slot in self.slots if slot.mode == ReplicationMode.REPLICA)
+        non_replicas = len(self.slots) - replicas
+        if replicas > non_replicas:
+            return ReplicationMode.REPLICA
+        return ReplicationMode.NON_REPLICA
+
+    def mode(self, core: int) -> ReplicationMode:
+        slot = self.find(core)
+        if slot is not None:
+            return slot.mode
+        return self.majority_mode()
+
+    def home_reuse(self, core: int) -> int:
+        slot = self.find(core)
+        return slot.reuse if slot is not None else 0
+
+
+class LimitedClassifier(LocalityClassifier):
+    """The Limited_k classifier (Section 2.2.5).
+
+    Storage: k × (core-id + mode bit + reuse counter) per entry; with
+    k = 3 this is 4.5% over the ACKwise_4 baseline at 64 cores
+    (Section 2.4.1 — verified by ``repro.experiments.storage``).
+    """
+
+    def __init__(self, num_cores: int, rt: int, counter_max: int, k: int = 3) -> None:
+        super().__init__(num_cores, rt, counter_max)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def new_state(self) -> LimitedState:
+        return LimitedState(self.k)
+
+    # -- slot management ------------------------------------------------------
+    def _acquire_slot(self, state: LimitedState, core: int) -> TrackedCore | None:
+        """Find/allocate a tracking slot for ``core`` (None → untracked).
+
+        Order per the paper: already tracked → free entry → replace an
+        inactive sharer (seeded by majority vote) → give up (majority vote
+        handles the request statelessly).
+        """
+        slot = state.find(core)
+        if slot is not None:
+            slot.active = True
+            return slot
+        if len(state.slots) < state.k:
+            slot = TrackedCore(core)
+            state.slots.append(slot)
+            return slot
+        for index, candidate in enumerate(state.slots):
+            if not candidate.active:
+                seeded_mode = state.majority_mode()
+                slot = TrackedCore(core, mode=seeded_mode)
+                state.slots[index] = slot
+                return slot
+        return None
+
+    # -- protocol events --------------------------------------------------------
+    def on_home_read(self, state: LimitedState, core: int) -> bool:
+        slot = self._acquire_slot(state, core)
+        if slot is None:
+            return state.majority_mode() == ReplicationMode.REPLICA
+        if slot.mode == ReplicationMode.REPLICA:
+            return True
+        slot.reuse = min(self.counter_max, slot.reuse + 1)
+        if slot.reuse >= self.rt:
+            slot.mode = ReplicationMode.REPLICA
+            return True
+        return False
+
+    def on_home_write(self, state: LimitedState, writer: int, was_only_sharer: bool) -> bool:
+        slot = self._acquire_slot(state, writer)
+        if slot is None:
+            return state.majority_mode() == ReplicationMode.REPLICA
+        if slot.mode == ReplicationMode.REPLICA:
+            return True
+        if was_only_sharer:
+            slot.reuse = min(self.counter_max, slot.reuse + 1)
+        else:
+            slot.reuse = 1
+        if slot.reuse >= self.rt:
+            slot.mode = ReplicationMode.REPLICA
+            return True
+        return False
+
+    def on_write_reset_others(
+        self, state: LimitedState, writer: int, sharers
+    ) -> None:
+        for slot in state.slots:
+            if (
+                slot.core != writer
+                and slot.core in sharers
+                and slot.mode == ReplicationMode.NON_REPLICA
+            ):
+                slot.reuse = 0
+
+    def mark_inactive_nonreplicas(self, state: LimitedState, writer: int) -> None:
+        for slot in state.slots:
+            if slot.core != writer and slot.mode == ReplicationMode.NON_REPLICA:
+                slot.active = False
+
+    def on_invalidation(self, state: LimitedState, core: int, replica_reuse: int) -> None:
+        slot = state.find(core)
+        if slot is None:
+            return
+        total = replica_reuse + slot.reuse
+        if total < self.rt:
+            slot.mode = ReplicationMode.NON_REPLICA
+        slot.reuse = 0
+        slot.active = False  # replica core goes inactive on invalidation
+
+    def on_replica_eviction(self, state: LimitedState, core: int, replica_reuse: int) -> None:
+        slot = state.find(core)
+        if slot is None:
+            return
+        if replica_reuse < self.rt:
+            slot.mode = ReplicationMode.NON_REPLICA
+        slot.reuse = 0
+        slot.active = False  # replica core goes inactive on eviction
+
+
+def make_classifier(
+    num_cores: int, rt: int, counter_max: int, k: int | None
+) -> LocalityClassifier:
+    """Factory: Limited_k when ``k`` is given, else the Complete classifier.
+
+    ``k >= num_cores`` degenerates to Complete semantics (the paper's
+    k = 64 point in Figure 9 *is* the Complete classifier).
+    """
+    if k is None or k >= num_cores:
+        return CompleteClassifier(num_cores, rt, counter_max)
+    return LimitedClassifier(num_cores, rt, counter_max, k)

@@ -1,0 +1,5 @@
+"""Off-chip memory subsystem."""
+
+from repro.dram.controller import DramSystem, MemoryController
+
+__all__ = ["DramSystem", "MemoryController"]

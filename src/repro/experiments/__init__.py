@@ -1,0 +1,25 @@
+"""Experiment harness: regenerate every figure and table in the paper.
+
+See ``python -m repro.experiments --help`` for the command-line entry
+point, and DESIGN.md for the experiment → module index.
+"""
+
+from repro.experiments.parallel import RunSpec, run_matrix_parallel, run_specs
+from repro.experiments.runner import (
+    ExperimentSetup,
+    RunResult,
+    run_asr_best,
+    run_matrix,
+    run_one,
+)
+
+__all__ = [
+    "ExperimentSetup",
+    "RunResult",
+    "RunSpec",
+    "run_asr_best",
+    "run_matrix",
+    "run_matrix_parallel",
+    "run_one",
+    "run_specs",
+]

@@ -1,0 +1,235 @@
+"""Design-choice ablations the paper reports in prose.
+
+* **LLC replacement policy** (Section 4.2): the modified-LRU policy
+  (fewest L1 copies first) vs. classic LRU, under the locality-aware
+  protocol at RT = 3.  The paper sees 15%/5% energy and 5%/2% completion
+  improvements on BLACKSCHOLES and FACESIM and parity elsewhere.
+
+* **Temporal Locality Hints** (Section 2.2.4): the prior approach the
+  modified-LRU replaces — plain LRU refreshed by periodic L1-hit hint
+  messages — matches its quality but pays network traffic for it.
+
+* **Dynamic-oracle local lookup** (Section 2.3.2): an oracle that skips
+  the local LLC slice probe whenever no replica is present.  The paper
+  measured < 1% difference, justifying the always-probe design; we
+  regenerate that comparison.
+
+* **Replica creation strategy** (Section 2.3.1): restricting replicas to
+  the Shared state is simpler but loses migratory shared data (LU-NC),
+  which needs E/M replicas.
+
+* **Classifier organization** (Section 2.3.3): the in-cache classifier
+  vs a decoupled sparse side table, which trades storage for a second
+  CAM lookup and for classifier state lost on side-table eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentSetup, RunResult, run_one
+
+ABLATION_BENCHMARKS = ("BLACKSCHOLES", "FACESIM", "BARNES", "DEDUP")
+
+
+def run_replacement_ablation(
+    setup: ExperimentSetup, benchmarks: Iterable[str] | None = None
+) -> dict[str, dict[str, RunResult]]:
+    """``results[benchmark][policy]`` with policy in {modified_lru, lru}."""
+    bench_list = list(benchmarks) if benchmarks is not None else list(ABLATION_BENCHMARKS)
+    results: dict[str, dict[str, RunResult]] = {}
+    for benchmark in bench_list:
+        modified = run_one(
+            setup, "RT-3", benchmark,
+            config=setup.config.with_overrides(llc_modified_lru=True),
+        )
+        plain = run_one(
+            setup, "RT-3", benchmark,
+            config=setup.config.with_overrides(llc_modified_lru=False),
+        )
+        results[benchmark] = {"modified_lru": modified, "lru": plain}
+    return results
+
+
+def render_replacement_ablation(results: dict[str, dict[str, RunResult]]) -> str:
+    rows = []
+    for benchmark, row in results.items():
+        modified, plain = row["modified_lru"], row["lru"]
+        rows.append([
+            benchmark,
+            modified.total_energy / plain.total_energy,
+            modified.completion_time / plain.completion_time,
+        ])
+    return format_table(
+        ["Benchmark", "Energy (mod-LRU / LRU)", "Time (mod-LRU / LRU)"],
+        rows,
+        title="Section 4.2: modified-LRU vs LRU LLC replacement (RT-3)",
+    )
+
+
+def run_oracle_ablation(
+    setup: ExperimentSetup, benchmarks: Iterable[str] | None = None
+) -> dict[str, dict[str, RunResult]]:
+    """``results[benchmark][mode]`` with mode in {probe, oracle}."""
+    bench_list = list(benchmarks) if benchmarks is not None else list(ABLATION_BENCHMARKS)
+    results: dict[str, dict[str, RunResult]] = {}
+    for benchmark in bench_list:
+        probe = run_one(setup, "RT-3", benchmark)
+        oracle = run_one(setup, "RT-3", benchmark, oracle_lookup=True)
+        results[benchmark] = {"probe": probe, "oracle": oracle}
+    return results
+
+
+def render_oracle_ablation(results: dict[str, dict[str, RunResult]]) -> str:
+    rows = []
+    for benchmark, row in results.items():
+        probe, oracle = row["probe"], row["oracle"]
+        rows.append([
+            benchmark,
+            probe.total_energy / oracle.total_energy,
+            probe.completion_time / oracle.completion_time,
+        ])
+    return format_table(
+        ["Benchmark", "Energy (probe / oracle)", "Time (probe / oracle)"],
+        rows,
+        title="Section 2.3.2: always-probe vs dynamic-oracle local lookup (RT-3)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Temporal Locality Hints (Section 2.2.4's rejected alternative)
+# ---------------------------------------------------------------------------
+
+def run_tla_ablation(
+    setup: ExperimentSetup, benchmarks: Iterable[str] | None = None
+) -> dict[str, dict[str, RunResult]]:
+    """``results[benchmark][variant]`` over {modified_lru, lru, tla}."""
+    bench_list = list(benchmarks) if benchmarks is not None else list(ABLATION_BENCHMARKS)
+    results: dict[str, dict[str, RunResult]] = {}
+    for benchmark in bench_list:
+        results[benchmark] = {
+            "modified_lru": run_one(
+                setup, "RT-3", benchmark,
+                config=setup.config.with_overrides(llc_modified_lru=True),
+            ),
+            "lru": run_one(
+                setup, "RT-3", benchmark,
+                config=setup.config.with_overrides(llc_modified_lru=False),
+            ),
+            "tla": run_one(
+                setup, "RT-3", benchmark,
+                config=setup.config.with_overrides(tla_hints=True),
+            ),
+        }
+    return results
+
+
+def render_tla_ablation(results: dict[str, dict[str, RunResult]]) -> str:
+    rows = []
+    for benchmark, row in results.items():
+        base = row["lru"]
+        rows.append([
+            benchmark,
+            row["modified_lru"].total_energy / base.total_energy,
+            row["tla"].total_energy / base.total_energy,
+            float(row["tla"].stats.counters.get("tla_hints_sent", 0)),
+        ])
+    return format_table(
+        ["Benchmark", "mod-LRU energy / LRU", "TLA energy / LRU", "TLA hint msgs"],
+        rows,
+        title="Section 2.2.4: modified-LRU vs Temporal Locality Hints (RT-3)",
+        float_format="{:.3f}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Replica creation strategy (Section 2.3.1)
+# ---------------------------------------------------------------------------
+
+STRATEGY_BENCHMARKS = ("LU-NC", "BARNES", "STREAMCLUSTER", "PATRICIA")
+
+
+def run_replica_strategy_ablation(
+    setup: ExperimentSetup, benchmarks: Iterable[str] | None = None
+) -> dict[str, dict[str, RunResult]]:
+    """``results[benchmark][strategy]`` over {all_states, shared_only}."""
+    bench_list = list(benchmarks) if benchmarks is not None else list(STRATEGY_BENCHMARKS)
+    results: dict[str, dict[str, RunResult]] = {}
+    for benchmark in bench_list:
+        results[benchmark] = {
+            "all_states": run_one(setup, "RT-3", benchmark),
+            "shared_only": run_one(
+                setup, "RT-3", benchmark, shared_only_replicas=True
+            ),
+        }
+    return results
+
+
+def render_replica_strategy_ablation(results: dict[str, dict[str, RunResult]]) -> str:
+    rows = []
+    for benchmark, row in results.items():
+        full, shared = row["all_states"], row["shared_only"]
+        rows.append([
+            benchmark,
+            shared.total_energy / full.total_energy,
+            shared.completion_time / full.completion_time,
+            float(full.stats.counters.get("replicas_created", 0)),
+            float(shared.stats.counters.get("replicas_created", 0)),
+        ])
+    return format_table(
+        ["Benchmark", "Energy (S-only / all)", "Time (S-only / all)",
+         "Replicas (all)", "Replicas (S-only)"],
+        rows,
+        title="Section 2.3.1: Shared-only vs all-state replica creation (RT-3)",
+        float_format="{:.3f}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Classifier organization (Section 2.3.3)
+# ---------------------------------------------------------------------------
+
+ORGANIZATION_BENCHMARKS = ("BARNES", "STREAMCLUSTER", "DEDUP")
+
+
+def run_classifier_organization_ablation(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    sparse_entries: Iterable[int] = (64, 256, 1024),
+) -> dict[str, dict[str, RunResult]]:
+    """``results[benchmark][org]`` over in-cache and sparse capacities."""
+    bench_list = list(benchmarks) if benchmarks is not None else list(ORGANIZATION_BENCHMARKS)
+    results: dict[str, dict[str, RunResult]] = {}
+    for benchmark in bench_list:
+        row: dict[str, RunResult] = {
+            "incache": run_one(setup, "RT-3", benchmark),
+        }
+        for entries in sparse_entries:
+            config = setup.config.with_overrides(
+                classifier_organization="sparse",
+                sparse_classifier_entries=entries,
+            )
+            row[f"sparse-{entries}"] = run_one(
+                setup, "RT-3", benchmark, config=config
+            )
+        results[benchmark] = row
+    return results
+
+
+def render_classifier_organization_ablation(
+    results: dict[str, dict[str, RunResult]]
+) -> str:
+    labels = list(next(iter(results.values())).keys())
+    rows = []
+    for benchmark, row in results.items():
+        base = row["incache"]
+        rows.append([
+            benchmark,
+            *[row[label].total_energy / base.total_energy for label in labels],
+        ])
+    return format_table(
+        ["Benchmark", *[f"{label} energy" for label in labels]],
+        rows,
+        title="Section 2.3.3: in-cache vs sparse classifier organization (RT-3)",
+    )

@@ -1,0 +1,152 @@
+"""Figures 6, 7 and 8: the main scheme-comparison matrix (Section 4.1).
+
+One matrix of runs — seven schemes (S-NUCA, R-NUCA, VR, ASR, RT-1, RT-3,
+RT-8) × the benchmark list — feeds all three figures:
+
+* Figure 6: energy breakdown per scheme, normalized to S-NUCA;
+* Figure 7: completion-time breakdown per scheme, normalized to S-NUCA;
+* Figure 8: L1 miss type breakdown (replica hit / home hit / off-chip).
+
+The paper plots the *Average* (not geometric mean) across benchmarks for
+Figures 6 and 7; :func:`average_row` reproduces that convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.energy.model import COMPONENTS
+from repro.experiments.reporting import arithmetic_mean, format_table
+from repro.experiments.runner import ExperimentSetup, RunResult, run_matrix
+from repro.schemes.factory import FIGURE_SCHEMES
+from repro.sim.stats import LATENCY_BUCKETS
+
+
+def run_comparison(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    schemes: Iterable[str] = FIGURE_SCHEMES,
+) -> dict[str, dict[str, RunResult]]:
+    """Run the Figures 6–8 matrix; ``results[benchmark][scheme]``."""
+    return run_matrix(setup, list(schemes), benchmarks)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: energy
+# ---------------------------------------------------------------------------
+
+def fig6_energy(
+    results: Mapping[str, Mapping[str, RunResult]]
+) -> dict[str, dict[str, float]]:
+    """Normalized total energy per (benchmark, scheme), S-NUCA = 1.0."""
+    table: dict[str, dict[str, float]] = {}
+    for benchmark, row in results.items():
+        baseline = row["S-NUCA"].total_energy
+        table[benchmark] = {
+            scheme: result.total_energy / baseline for scheme, result in row.items()
+        }
+    return table
+
+
+def fig6_component_breakdown(
+    results: Mapping[str, Mapping[str, RunResult]], benchmark: str
+) -> dict[str, dict[str, float]]:
+    """Per-component energy for one benchmark, normalized to S-NUCA total."""
+    row = results[benchmark]
+    baseline = row["S-NUCA"].total_energy
+    return {
+        scheme: {
+            component: result.energy_breakdown.get(component, 0.0) / baseline
+            for component in COMPONENTS
+        }
+        for scheme, result in row.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: completion time
+# ---------------------------------------------------------------------------
+
+def fig7_completion(
+    results: Mapping[str, Mapping[str, RunResult]]
+) -> dict[str, dict[str, float]]:
+    """Normalized completion time per (benchmark, scheme), S-NUCA = 1.0."""
+    table: dict[str, dict[str, float]] = {}
+    for benchmark, row in results.items():
+        baseline = row["S-NUCA"].completion_time
+        table[benchmark] = {
+            scheme: result.completion_time / baseline for scheme, result in row.items()
+        }
+    return table
+
+
+def fig7_latency_breakdown(
+    results: Mapping[str, Mapping[str, RunResult]], benchmark: str
+) -> dict[str, dict[str, float]]:
+    """Per-bucket latency cycles for one benchmark, normalized to S-NUCA."""
+    row = results[benchmark]
+    baseline = sum(row["S-NUCA"].stats.latency_breakdown().values())
+    return {
+        scheme: {
+            bucket: cycles / baseline
+            for bucket, cycles in result.stats.latency_breakdown().items()
+        }
+        for scheme, result in row.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: L1 miss types
+# ---------------------------------------------------------------------------
+
+def fig8_miss_breakdown(
+    results: Mapping[str, Mapping[str, RunResult]]
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Miss-type fractions per (benchmark, scheme)."""
+    return {
+        benchmark: {
+            scheme: result.stats.miss_breakdown() for scheme, result in row.items()
+        }
+        for benchmark, row in results.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Averages and rendering
+# ---------------------------------------------------------------------------
+
+def average_row(table: Mapping[str, Mapping[str, float]]) -> dict[str, float]:
+    """The AVERAGE bar of Figures 6/7 (arithmetic mean over benchmarks)."""
+    schemes: list[str] = list(next(iter(table.values())).keys())
+    return {
+        scheme: arithmetic_mean(row[scheme] for row in table.values())
+        for scheme in schemes
+    }
+
+
+def render_normalized_table(
+    table: Mapping[str, Mapping[str, float]], title: str
+) -> str:
+    schemes = list(next(iter(table.values())).keys())
+    rows = [
+        [benchmark, *[row[scheme] for scheme in schemes]]
+        for benchmark, row in table.items()
+    ]
+    avg = average_row(table)
+    rows.append(["AVERAGE", *[avg[scheme] for scheme in schemes]])
+    return format_table(["Benchmark", *schemes], rows, title=title)
+
+
+def render_miss_table(
+    table: Mapping[str, Mapping[str, Mapping[str, float]]], title: str
+) -> str:
+    lines = [title, "=" * len(title)]
+    categories = ("LLC-Replica-Hits", "LLC-Home-Hits", "OffChip-Misses")
+    for benchmark, row in table.items():
+        lines.append(f"\n{benchmark}")
+        rows = [
+            [scheme, *[fractions[category] for category in categories]]
+            for scheme, fractions in row.items()
+        ]
+        lines.append(format_table(["Scheme", *categories], rows))
+    return "\n".join(lines)

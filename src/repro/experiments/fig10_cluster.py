@@ -1,0 +1,94 @@
+"""Figure 10: cluster-size sensitivity for replica placement (Section 4.4).
+
+Runs the locality-aware protocol (RT = 3) with cluster sizes
+C ∈ {1, 4, 16, num_cores}: one replica per C-core cluster, placed by
+address interleaving within the cluster.  C = 1 keeps replicas in the
+requester's own slice; C = num_cores degenerates to a single location —
+"the same as R-NUCA except that it does not even replicate instructions".
+
+The paper finds C = 1 optimal on its 64-core machine: larger clusters
+add network serialization (probe the replica slice, then the home)
+without reducing the miss rate enough to pay for it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.experiments.reporting import format_table, geomean
+from repro.experiments.runner import ExperimentSetup, RunResult, run_one
+
+#: The benchmarks Figure 10 plots.
+FIG10_BENCHMARKS = (
+    "RADIX", "LU-NC", "BARNES", "WATER-NSQ", "RAYTRACE", "VOLREND",
+    "BLACKSCHOLES", "SWAPTIONS", "FLUIDANIMATE", "STREAMCLUSTER", "FERRET",
+    "BODYTRACK", "FACESIM", "PATRICIA", "CONCOMP",
+)
+
+
+def cluster_sizes(num_cores: int) -> tuple[int, ...]:
+    """The Figure 10 sweep, clipped to the machine size."""
+    sizes = [size for size in (1, 4, 16, 64) if size <= num_cores]
+    if num_cores not in sizes:
+        sizes.append(num_cores)
+    return tuple(sizes)
+
+
+def run_fig10(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    sizes: Iterable[int] | None = None,
+) -> dict[str, dict[str, RunResult]]:
+    """``results[benchmark]['C-<size>']`` for the locality scheme at RT=3."""
+    bench_list = list(benchmarks) if benchmarks is not None else list(FIG10_BENCHMARKS)
+    size_list = list(sizes) if sizes is not None else list(cluster_sizes(setup.config.num_cores))
+    results: dict[str, dict[str, RunResult]] = {}
+    for benchmark in bench_list:
+        row: dict[str, RunResult] = {}
+        for size in size_list:
+            config = setup.config.with_overrides(
+                cluster_size=size, replication_threshold=3
+            )
+            row[f"C-{size}"] = run_one(setup, "Locality", benchmark, config=config)
+        results[benchmark] = row
+    return results
+
+
+def normalized_tables(
+    results: dict[str, dict[str, RunResult]]
+) -> tuple[dict[str, dict[str, float]], dict[str, dict[str, float]]]:
+    """(energy, completion time) normalized to C-1."""
+    energy: dict[str, dict[str, float]] = {}
+    time: dict[str, dict[str, float]] = {}
+    for benchmark, row in results.items():
+        base_energy = row["C-1"].total_energy
+        base_time = row["C-1"].completion_time
+        energy[benchmark] = {
+            label: result.total_energy / base_energy for label, result in row.items()
+        }
+        time[benchmark] = {
+            label: result.completion_time / base_time for label, result in row.items()
+        }
+    return energy, time
+
+
+def render_fig10(
+    energy: dict[str, dict[str, float]], time: dict[str, dict[str, float]]
+) -> str:
+    labels = list(next(iter(energy.values())).keys())
+    sections = []
+    for title, table in (
+        ("Figure 10a: Energy (normalized to cluster size 1)", energy),
+        ("Figure 10b: Completion Time (normalized to cluster size 1)", time),
+    ):
+        rows = [
+            [benchmark, *[row[label] for label in labels]]
+            for benchmark, row in table.items()
+        ]
+        rows.append(
+            ["GEOMEAN", *[
+                geomean(row[label] for row in table.values()) for label in labels
+            ]]
+        )
+        sections.append(format_table(["Benchmark", *labels], rows, title=title))
+    return "\n\n".join(sections)

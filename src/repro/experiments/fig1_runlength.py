@@ -1,0 +1,59 @@
+"""Figure 1: LLC access distribution by data class × run-length bucket.
+
+Regenerates the motivation study: for each benchmark, the fraction of
+LLC accesses that belong to runs of length [1–2], [3–9] and [≥10],
+split by the four data classes.  Profiled on the S-NUCA baseline (no
+replication), matching the paper's vantage point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.types import LineClass
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentSetup
+from repro.sim.profiler import RUN_LENGTH_BUCKETS, RunLengthProfile, profile_run_lengths
+from repro.workloads.benchmarks import BENCHMARK_ORDER
+
+
+def run_fig1(
+    setup: ExperimentSetup, benchmarks: Iterable[str] | None = None
+) -> dict[str, RunLengthProfile]:
+    """Profile run lengths for each benchmark."""
+    bench_list = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
+    profiles: dict[str, RunLengthProfile] = {}
+    for benchmark in bench_list:
+        traces = setup.trace_for(benchmark)
+        profiles[benchmark] = profile_run_lengths(setup.config, traces)
+    return profiles
+
+
+def render_fig1(profiles: dict[str, RunLengthProfile]) -> str:
+    """One row per benchmark, one column per (class, bucket) pair."""
+    headers = ["Benchmark"]
+    columns: list[tuple[LineClass, str]] = []
+    for line_class in LineClass:
+        for label, _low, _high in RUN_LENGTH_BUCKETS:
+            columns.append((line_class, label))
+            headers.append(f"{_short(line_class)}{label}")
+    rows = []
+    for benchmark, profile in profiles.items():
+        fractions = profile.fractions()
+        rows.append(
+            [benchmark, *[fractions.get(column, 0.0) for column in columns]]
+        )
+    return format_table(
+        headers,
+        rows,
+        title="Figure 1: LLC access distribution by class and run-length",
+    )
+
+
+def _short(line_class: LineClass) -> str:
+    return {
+        LineClass.PRIVATE: "Priv",
+        LineClass.INSTRUCTION: "Instr",
+        LineClass.SHARED_RO: "ShRO",
+        LineClass.SHARED_RW: "ShRW",
+    }[line_class]

@@ -1,0 +1,95 @@
+"""Figure 9: Limited_k classifier sensitivity (Section 4.3).
+
+Runs the locality-aware protocol (at the paper's best RT of 3) with
+k ∈ {1, 3, 5, 7, 64} and reports energy and completion time normalized
+to the Complete classifier (k = 64 on the paper machine; k = num_cores
+in general — ``make_classifier`` treats k ≥ num_cores as Complete).
+
+The paper's benchmark list for this figure is the subset whose behaviour
+varies with k (the rest look like DEDUP: flat lines).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.experiments.reporting import format_table, geomean
+from repro.experiments.runner import ExperimentSetup, RunResult, run_one
+
+#: k values of Figure 9; the machine's core count plays the role of 64.
+K_VALUES = (1, 3, 5, 7, None)  # None → Complete classifier
+
+#: The benchmarks Figure 9 plots (the others are insensitive to k).
+FIG9_BENCHMARKS = (
+    "RADIX", "LU-NC", "CHOLESKY", "BARNES", "OCEAN-NC", "WATER-NSQ",
+    "RAYTRACE", "VOLREND", "STREAMCLUSTER", "DEDUP", "FERRET", "FACESIM",
+    "CONCOMP",
+)
+
+
+def k_label(k: int | None, num_cores: int) -> str:
+    return f"k={num_cores}" if k is None else f"k={k}"
+
+
+def run_fig9(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    k_values: Iterable[int | None] = K_VALUES,
+) -> dict[str, dict[str, RunResult]]:
+    """``results[benchmark][k-label]`` for the locality scheme at RT=3."""
+    bench_list = list(benchmarks) if benchmarks is not None else list(FIG9_BENCHMARKS)
+    num_cores = setup.config.num_cores
+    results: dict[str, dict[str, RunResult]] = {}
+    for benchmark in bench_list:
+        row: dict[str, RunResult] = {}
+        for k in k_values:
+            config = setup.config.with_overrides(
+                classifier_k=None if k is None else k,
+                replication_threshold=3,
+            )
+            row[k_label(k, num_cores)] = run_one(
+                setup, "Locality", benchmark, config=config
+            )
+        results[benchmark] = row
+    return results
+
+
+def normalized_tables(
+    results: dict[str, dict[str, RunResult]], num_cores: int
+) -> tuple[dict[str, dict[str, float]], dict[str, dict[str, float]]]:
+    """(energy, completion time) normalized to the Complete classifier."""
+    complete = k_label(None, num_cores)
+    energy: dict[str, dict[str, float]] = {}
+    time: dict[str, dict[str, float]] = {}
+    for benchmark, row in results.items():
+        base_energy = row[complete].total_energy
+        base_time = row[complete].completion_time
+        energy[benchmark] = {
+            label: result.total_energy / base_energy for label, result in row.items()
+        }
+        time[benchmark] = {
+            label: result.completion_time / base_time for label, result in row.items()
+        }
+    return energy, time
+
+
+def render_fig9(
+    energy: dict[str, dict[str, float]], time: dict[str, dict[str, float]]
+) -> str:
+    labels = list(next(iter(energy.values())).keys())
+    sections = []
+    for title, table in (
+        ("Figure 9a: Energy (normalized to Complete classifier)", energy),
+        ("Figure 9b: Completion Time (normalized to Complete classifier)", time),
+    ):
+        rows = [
+            [benchmark, *[row[label] for label in labels]]
+            for benchmark, row in table.items()
+        ]
+        rows.append(
+            ["GEOMEAN", *[
+                geomean(row[label] for row in table.values()) for label in labels
+            ]]
+        )
+        sections.append(format_table(["Benchmark", *labels], rows, title=title))
+    return "\n\n".join(sections)

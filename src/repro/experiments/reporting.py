@@ -1,0 +1,137 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper's figures are stacked bar charts; we print the same data as
+aligned text tables (one row per benchmark/configuration, one column per
+scheme or component), which is what a terminal harness can faithfully
+reproduce and what the benchmark suite snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def normalize_to(
+    values: Mapping[str, float], baseline_key: str
+) -> dict[str, float]:
+    """Normalize a mapping of scheme → scalar to one baseline scheme."""
+    baseline = values[baseline_key]
+    if baseline == 0:
+        raise ZeroDivisionError(f"baseline {baseline_key!r} measured zero")
+    return {key: value / baseline for key, value in values.items()}
+
+
+def stacked_fractions(breakdown: Mapping[str, float]) -> dict[str, float]:
+    """Components as fractions of the total (for stacked-bar style rows)."""
+    total = sum(breakdown.values())
+    if total == 0:
+        return {key: 0.0 for key in breakdown}
+    return {key: value / total for key, value in breakdown.items()}
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (used for Figures 9/10 summaries)."""
+    items = [value for value in values]
+    if not items:
+        raise ValueError("geomean of no values")
+    product = 1.0
+    for value in items:
+        if value <= 0:
+            raise ValueError("geomean requires positive values")
+        product *= value
+    return product ** (1.0 / len(items))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain average (Figures 6/7 plot Average, not Geometric-Mean)."""
+    items = list(values)
+    if not items:
+        raise ValueError("mean of no values")
+    return sum(items) / len(items)
+
+
+#: Glyphs cycled through for stacked-bar segments (one per component).
+_BAR_GLYPHS = "█▓▒░▚▞▘▝"
+
+
+def render_stacked_bars(
+    rows: Mapping[str, Mapping[str, float]],
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Text rendition of the paper's stacked bar charts.
+
+    ``rows`` maps a bar label (scheme name) to its component values; all
+    bars share one scale (the largest total spans ``width`` characters),
+    so relative heights read exactly like Figures 6/7.
+    """
+    if not rows:
+        raise ValueError("no bars to render")
+    components: list[str] = []
+    for breakdown in rows.values():
+        for component in breakdown:
+            if component not in components:
+                components.append(component)
+    max_total = max(sum(breakdown.values()) for breakdown in rows.values())
+    if max_total <= 0:
+        raise ValueError("bars must have positive totals")
+    glyph_of = {
+        component: _BAR_GLYPHS[index % len(_BAR_GLYPHS)]
+        for index, component in enumerate(components)
+    }
+    label_width = max(len(label) for label in rows)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, breakdown in rows.items():
+        total = sum(breakdown.values())
+        bar = []
+        drawn = 0
+        for component in components:
+            value = breakdown.get(component, 0.0)
+            segment = round(value / max_total * width)
+            bar.append(glyph_of[component] * segment)
+            drawn += segment
+        lines.append(
+            f"{label.rjust(label_width)} |{''.join(bar):<{width}}| "
+            f"{total / max_total:.3f}"
+        )
+    lines.append("")
+    legend = "  ".join(
+        f"{glyph_of[component]} {component}" for component in components
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

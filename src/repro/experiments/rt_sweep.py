@@ -1,0 +1,78 @@
+"""Replication-threshold sweep (Section 4.1's RT exploration).
+
+The paper evaluated every RT between 1 and 8 and reported that RT = 3
+"achieves the best trade-off" between on-chip locality (low RT → more
+replicas) and off-chip miss rate (high RT → less LLC pollution), with
+RT-1 and RT-8 shown in Figures 6–8 as the instructive extremes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.experiments.reporting import format_table, geomean
+from repro.experiments.runner import ExperimentSetup, RunResult, run_one
+
+RT_VALUES = (1, 2, 3, 4, 6, 8)
+
+#: A spread of benchmarks where RT matters: LLC-pressure benchmarks
+#: punish low RT, reuse-heavy benchmarks punish high RT.
+SWEEP_BENCHMARKS = (
+    "BARNES", "FLUIDANIMATE", "OCEAN-C", "STREAMCLUSTER", "BLACKSCHOLES",
+)
+
+
+def run_rt_sweep(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    rt_values: Iterable[int] = RT_VALUES,
+) -> dict[str, dict[int, RunResult]]:
+    """``results[benchmark][rt]`` for the locality-aware scheme."""
+    bench_list = list(benchmarks) if benchmarks is not None else list(SWEEP_BENCHMARKS)
+    results: dict[str, dict[int, RunResult]] = {}
+    for benchmark in bench_list:
+        row: dict[int, RunResult] = {}
+        for rt in rt_values:
+            row[rt] = run_one(setup, f"RT-{rt}", benchmark)
+        results[benchmark] = row
+    return results
+
+
+def best_rt_by_edp(results: dict[str, dict[int, RunResult]]) -> int:
+    """The RT minimizing geomean energy-delay product across benchmarks."""
+    rts = list(next(iter(results.values())).keys())
+    best_rt = rts[0]
+    best_score = float("inf")
+    for rt in rts:
+        score = geomean(
+            row[rt].total_energy * row[rt].completion_time
+            for row in results.values()
+        )
+        if score < best_score:
+            best_score = score
+            best_rt = rt
+    return best_rt
+
+
+def render_rt_sweep(results: dict[str, dict[int, RunResult]]) -> str:
+    rts = list(next(iter(results.values())).keys())
+    energy_rows = []
+    time_rows = []
+    for benchmark, row in results.items():
+        base = row[rts[0]]
+        energy_rows.append(
+            [benchmark, *[row[rt].total_energy / base.total_energy for rt in rts]]
+        )
+        time_rows.append(
+            [benchmark, *[row[rt].completion_time / base.completion_time for rt in rts]]
+        )
+    headers = ["Benchmark", *[f"RT-{rt}" for rt in rts]]
+    return "\n\n".join(
+        (
+            format_table(headers, energy_rows,
+                         title="RT sweep: energy (normalized to RT-1)"),
+            format_table(headers, time_rows,
+                         title="RT sweep: completion time (normalized to RT-1)"),
+            f"Best RT by geomean EDP: {best_rt_by_edp(results)}",
+        )
+    )

@@ -1,0 +1,144 @@
+"""Section 2.4.1 storage-overhead arithmetic — reproduced exactly.
+
+The paper computes, for the Table 1 machine (64 cores, 256 KB LLC slice
+with 4096 entries, 48-bit physical addresses):
+
+* replica reuse counters: 2 bits/entry  → 1 KB per slice
+* Limited₃ classifier: 27 bits/entry    → 13.5 KB per slice
+* Complete classifier: 192 bits/entry   → 96 KB per slice
+* ACKwise₄ pointers: 24 bits/entry      → 12 KB per slice
+* Full-map directory: 64 bits/entry     → 32 KB per slice
+* Limited₃ + ACKwise₄ ≈ full-map storage, 4.5% over baseline ACKwise₄
+* Complete + ACKwise₄ = 30% over baseline ACKwise₄
+
+These are pure functions of the configuration, so the tests assert the
+paper's numbers digit for digit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.common.params import MachineConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class StorageReport:
+    """Per-LLC-slice storage accounting, in bits and kilobytes."""
+
+    num_cores: int
+    llc_entries: int
+    reuse_counter_bits: int
+    core_id_bits: int
+    #: Per-core cache data capacity in bytes (L1-I + L1-D + LLC slice);
+    #: the paper's percentage overheads are relative to this plus the
+    #: baseline ACKwise directory.
+    cache_data_bytes: int
+    # -- per-entry bit counts ------------------------------------------------
+    replica_reuse_bits_per_entry: int
+    limited_k_bits_per_entry: int
+    complete_bits_per_entry: int
+    ackwise_bits_per_entry: int
+    fullmap_bits_per_entry: int
+
+    def _kb(self, bits_per_entry: int) -> float:
+        return bits_per_entry * self.llc_entries / 8 / 1024
+
+    @property
+    def replica_reuse_kb(self) -> float:
+        return self._kb(self.replica_reuse_bits_per_entry)
+
+    @property
+    def limited_k_kb(self) -> float:
+        return self._kb(self.limited_k_bits_per_entry)
+
+    @property
+    def complete_kb(self) -> float:
+        return self._kb(self.complete_bits_per_entry)
+
+    @property
+    def ackwise_kb(self) -> float:
+        return self._kb(self.ackwise_bits_per_entry)
+
+    @property
+    def fullmap_kb(self) -> float:
+        return self._kb(self.fullmap_bits_per_entry)
+
+    @property
+    def locality_total_kb(self) -> float:
+        """Replica reuse + Limited_k classifier (the paper's 14.5 KB)."""
+        return self.replica_reuse_kb + self.limited_k_kb
+
+    @property
+    def limited_overhead_vs_ackwise(self) -> float:
+        """Fractional storage increase of Limited_k + reuse over the
+        baseline ACKwise protocol (per-core cache data + directory)."""
+        extra_bits = (
+            self.replica_reuse_bits_per_entry + self.limited_k_bits_per_entry
+        ) * self.llc_entries
+        return extra_bits / self._baseline_bits()
+
+    @property
+    def complete_overhead_vs_ackwise(self) -> float:
+        extra_bits = (
+            self.replica_reuse_bits_per_entry + self.complete_bits_per_entry
+        ) * self.llc_entries
+        return extra_bits / self._baseline_bits()
+
+    def _baseline_bits(self) -> int:
+        return (
+            self.cache_data_bytes * 8
+            + self.ackwise_bits_per_entry * self.llc_entries
+        )
+
+
+def storage_report(config: MachineConfig, k: int = 3) -> StorageReport:
+    """Compute the Section 2.4.1 numbers for any machine configuration."""
+    num_cores = config.num_cores
+    core_id_bits = max(1, math.ceil(math.log2(num_cores)))
+    reuse_bits = config.reuse_counter_bits
+    mode_bits = 1
+    per_tracked_core = reuse_bits + mode_bits + core_id_bits
+    llc_entries = config.llc_slice.lines
+    cache_data_bytes = (
+        config.l1i.capacity_bytes
+        + config.l1d.capacity_bytes
+        + config.llc_slice.capacity_bytes
+    )
+    return StorageReport(
+        num_cores=num_cores,
+        llc_entries=llc_entries,
+        reuse_counter_bits=reuse_bits,
+        core_id_bits=core_id_bits,
+        cache_data_bytes=cache_data_bytes,
+        replica_reuse_bits_per_entry=reuse_bits,
+        limited_k_bits_per_entry=k * per_tracked_core,
+        complete_bits_per_entry=num_cores * (reuse_bits + mode_bits),
+        ackwise_bits_per_entry=config.ackwise_pointers * core_id_bits,
+        fullmap_bits_per_entry=num_cores,
+    )
+
+
+def render_storage(report: StorageReport) -> str:
+    lines = [
+        "Section 2.4.1 storage overheads (per LLC slice)",
+        "===============================================",
+        f"LLC entries per slice:        {report.llc_entries}",
+        f"Replica reuse counters:       {report.replica_reuse_kb:.1f} KB "
+        f"({report.replica_reuse_bits_per_entry} bits/entry)",
+        f"Limited_3 classifier:         {report.limited_k_kb:.1f} KB "
+        f"({report.limited_k_bits_per_entry} bits/entry)",
+        f"Complete classifier:          {report.complete_kb:.1f} KB "
+        f"({report.complete_bits_per_entry} bits/entry)",
+        f"ACKwise_4 pointers:           {report.ackwise_kb:.1f} KB "
+        f"({report.ackwise_bits_per_entry} bits/entry)",
+        f"Full-map directory:           {report.fullmap_kb:.1f} KB "
+        f"({report.fullmap_bits_per_entry} bits/entry)",
+        f"Locality protocol total:      {report.locality_total_kb:.1f} KB",
+        f"Limited_3 overhead vs ACKwise baseline:  "
+        f"{report.limited_overhead_vs_ackwise * 100:.1f}%",
+        f"Complete overhead vs ACKwise baseline:   "
+        f"{report.complete_overhead_vs_ackwise * 100:.1f}%",
+    ]
+    return "\n".join(lines)

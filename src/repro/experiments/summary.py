@@ -1,0 +1,71 @@
+"""The headline claim: RT-3 vs the four baselines (abstract / Section 4.1).
+
+The paper reports that the locality-aware protocol (RT = 3, Limited₃)
+lowers energy by 16%, 14%, 13% and 21% and completion time by 4%, 9%,
+6% and 13% versus VR, ASR, R-NUCA and S-NUCA respectively, averaged
+over the 21 benchmarks.  This module computes the same four-way average
+reduction from a comparison matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.experiments.comparison import average_row, fig6_energy, fig7_completion
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import RunResult
+
+#: Baselines in the order the paper quotes them.
+BASELINES = ("VR", "ASR", "R-NUCA", "S-NUCA")
+
+#: The paper's reported average reductions (fractions).
+PAPER_ENERGY_REDUCTION = {"VR": 0.16, "ASR": 0.14, "R-NUCA": 0.13, "S-NUCA": 0.21}
+PAPER_TIME_REDUCTION = {"VR": 0.04, "ASR": 0.09, "R-NUCA": 0.06, "S-NUCA": 0.13}
+
+
+def headline_reductions(
+    results: Mapping[str, Mapping[str, RunResult]], locality: str = "RT-3"
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Average energy/time reduction of the locality scheme vs baselines.
+
+    Follows the paper's averaging convention: per-benchmark values are
+    normalized to S-NUCA, averaged arithmetically, and the reduction is
+    ``1 - locality_avg / baseline_avg``.
+    """
+    energy_avg = average_row(fig6_energy(results))
+    time_avg = average_row(fig7_completion(results))
+    energy_reduction = {
+        baseline: 1.0 - energy_avg[locality] / energy_avg[baseline]
+        for baseline in BASELINES
+    }
+    time_reduction = {
+        baseline: 1.0 - time_avg[locality] / time_avg[baseline]
+        for baseline in BASELINES
+    }
+    return energy_reduction, time_reduction
+
+
+def render_summary(
+    energy_reduction: Mapping[str, float], time_reduction: Mapping[str, float]
+) -> str:
+    rows = [
+        [
+            baseline,
+            energy_reduction[baseline],
+            PAPER_ENERGY_REDUCTION[baseline],
+            time_reduction[baseline],
+            PAPER_TIME_REDUCTION[baseline],
+        ]
+        for baseline in BASELINES
+    ]
+    return format_table(
+        [
+            "Baseline",
+            "Energy reduction (ours)",
+            "Energy (paper)",
+            "Time reduction (ours)",
+            "Time (paper)",
+        ],
+        rows,
+        title="Headline: locality-aware RT-3 vs baselines (average reductions)",
+    )

@@ -1,0 +1,6 @@
+"""On-chip interconnect: mesh topology, XY routing and contention."""
+
+from repro.network.mesh import Mesh
+from repro.network.topology import MeshTopology, cluster_members, cluster_of
+
+__all__ = ["Mesh", "MeshTopology", "cluster_members", "cluster_of"]

@@ -1,0 +1,94 @@
+"""2-D mesh topology and XY (dimension-ordered) routing.
+
+The machine is an N×N mesh of tiles (Figure 2).  Core ``c`` sits at
+coordinates ``(x, y) = (c % side, c // side)``.  XY routing travels the X
+dimension first, then Y, which makes routes deterministic and deadlock
+free — and lets us enumerate the exact sequence of directed links a
+message occupies for the contention model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class MeshTopology:
+    """Coordinate math for an N×N mesh with XY routing."""
+
+    def __init__(self, num_cores: int) -> None:
+        side = int(num_cores ** 0.5)
+        if side * side != num_cores:
+            raise ValueError(f"num_cores {num_cores} is not a perfect square")
+        self.num_cores = num_cores
+        self.side = side
+
+    def coordinates(self, core: int) -> tuple[int, int]:
+        """``(x, y)`` position of a core on the mesh."""
+        self._check(core)
+        return core % self.side, core // self.side
+
+    def core_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.side and 0 <= y < self.side):
+            raise ValueError(f"({x}, {y}) outside {self.side}x{self.side} mesh")
+        return y * self.side + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two cores."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> Iterator[tuple[int, int]]:
+        """Directed links ``(from_core, to_core)`` along the XY path."""
+        x, y = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        current = src
+        while x != dx:
+            x += 1 if dx > x else -1
+            nxt = self.core_at(x, y)
+            yield current, nxt
+            current = nxt
+        while y != dy:
+            y += 1 if dy > y else -1
+            nxt = self.core_at(x, y)
+            yield current, nxt
+            current = nxt
+
+    def average_distance(self) -> float:
+        """Mean hop count over all (src, dst) pairs — useful for sizing."""
+        total = 0
+        for src in range(self.num_cores):
+            for dst in range(self.num_cores):
+                total += self.hops(src, dst)
+        return total / (self.num_cores ** 2)
+
+    def _check(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} outside mesh of {self.num_cores}")
+
+
+def cluster_of(core: int, cluster_size: int, side: int) -> int:
+    """Cluster index of a core for cluster-level replication (Section 2.3.4).
+
+    Clusters are square sub-meshes (cluster_size is a perfect square): a
+    64-core mesh with cluster_size 4 has 16 2×2 clusters.
+    """
+    cside = int(cluster_size ** 0.5)
+    if cside * cside != cluster_size:
+        raise ValueError("cluster_size must be a perfect square")
+    x, y = core % side, core // side
+    clusters_per_row = side // cside
+    return (y // cside) * clusters_per_row + (x // cside)
+
+
+def cluster_members(cluster: int, cluster_size: int, side: int) -> list[int]:
+    """Core ids belonging to a cluster, in row-major order."""
+    cside = int(cluster_size ** 0.5)
+    clusters_per_row = side // cside
+    base_x = (cluster % clusters_per_row) * cside
+    base_y = (cluster // clusters_per_row) * cside
+    return [
+        (base_y + dy) * side + (base_x + dx)
+        for dy in range(cside)
+        for dx in range(cside)
+    ]

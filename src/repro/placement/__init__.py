@@ -1,0 +1,6 @@
+"""Data placement: S-NUCA interleaving and Reactive-NUCA page classification."""
+
+from repro.placement.base import Placement, StaticNuca
+from repro.placement.rnuca import PageClass, ReactiveNuca
+
+__all__ = ["PageClass", "Placement", "ReactiveNuca", "StaticNuca"]

@@ -1,0 +1,58 @@
+"""Scheme registry: build any evaluated LLC management scheme by name.
+
+The experiment harness refers to schemes with the labels the paper's
+figures use (``S-NUCA``, ``R-NUCA``, ``VR``, ``ASR``, ``RT-1``, ``RT-3``,
+``RT-8``); this module translates those labels into configured engines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.params import MachineConfig
+from repro.schemes.asr import ASRScheme
+from repro.schemes.base import ProtocolEngine, ProtocolObserver
+from repro.schemes.locality import LocalityAwareScheme
+from repro.schemes.rnuca import RNucaScheme
+from repro.schemes.snuca import SNucaScheme
+from repro.schemes.victim import VictimReplicationScheme
+
+#: The seven scheme columns of Figures 6–8, in plot order.
+FIGURE_SCHEMES = ("S-NUCA", "R-NUCA", "VR", "ASR", "RT-1", "RT-3", "RT-8")
+
+
+def make_scheme(
+    label: str,
+    config: MachineConfig,
+    observer: ProtocolObserver | None = None,
+    **overrides,
+) -> ProtocolEngine:
+    """Instantiate the engine for a figure label.
+
+    ``RT-<n>`` labels configure the locality-aware scheme with replication
+    threshold ``n``; extra keyword arguments reach the scheme constructor
+    (e.g. ``replication_level`` for ASR, ``oracle_lookup`` for locality).
+    """
+    if label == "S-NUCA":
+        return SNucaScheme(config, observer)
+    if label == "R-NUCA":
+        return RNucaScheme(config, observer)
+    if label == "VR":
+        return VictimReplicationScheme(config, observer)
+    if label == "ASR":
+        return ASRScheme(config, observer, **overrides)
+    if label.startswith("RT-"):
+        threshold = int(label[3:])
+        tuned = config.with_overrides(replication_threshold=threshold)
+        return LocalityAwareScheme(tuned, observer, **overrides)
+    if label == "Locality":
+        return LocalityAwareScheme(config, observer, **overrides)
+    raise ValueError(f"unknown scheme label {label!r}")
+
+
+def scheme_builder(label: str, **overrides) -> Callable[[MachineConfig], ProtocolEngine]:
+    """Partially applied constructor, convenient for sweeps."""
+    def build(config: MachineConfig) -> ProtocolEngine:
+        return make_scheme(label, config, **overrides)
+    build.__name__ = f"build_{label.replace('-', '_').lower()}"
+    return build

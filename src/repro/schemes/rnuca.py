@@ -1,0 +1,26 @@
+"""Reactive-NUCA baseline (Section 3.3, scheme 2).
+
+Private data is placed at the requester's LLC slice (first-touch page
+classification), shared data is address-interleaved, and instructions are
+replicated at one slice per 4-core cluster via rotational interleaving.
+No other data is ever replicated.
+"""
+
+from __future__ import annotations
+
+from repro.placement.base import Placement
+from repro.placement.rnuca import ReactiveNuca
+from repro.schemes.base import ProtocolEngine
+
+
+class RNucaScheme(ProtocolEngine):
+    """R-NUCA: private-at-requester, shared-interleaved, clustered instructions."""
+
+    name = "R-NUCA"
+
+    def make_placement(self) -> Placement:
+        return ReactiveNuca(
+            self.config.num_cores,
+            self.config.lines_per_page,
+            instruction_clustering=True,
+        )

@@ -1,0 +1,20 @@
+"""Static-NUCA baseline (Section 3.3, scheme 1).
+
+Every cache line is address-interleaved across all LLC slices, nothing is
+ever replicated, and every L1 miss travels to the home slice.  This is
+the normalization baseline for Figures 6–8.
+"""
+
+from __future__ import annotations
+
+from repro.placement.base import Placement, StaticNuca
+from repro.schemes.base import ProtocolEngine
+
+
+class SNucaScheme(ProtocolEngine):
+    """S-NUCA: address-interleaved shared LLC, no replication."""
+
+    name = "S-NUCA"
+
+    def make_placement(self) -> Placement:
+        return StaticNuca(self.config.num_cores)

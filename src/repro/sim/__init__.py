@@ -1,0 +1,33 @@
+"""Simulation engine: machine timing, statistics, profiler.
+
+Only the statistics names are re-exported here; import
+:mod:`repro.sim.simulator` and :mod:`repro.sim.profiler` directly (they
+depend on the scheme engines, which in turn record into these stats —
+re-exporting them here would create an import cycle).
+"""
+
+from repro.sim.stats import (
+    COMPUTE,
+    L1_HIT_TIME,
+    L1_TO_LLC_HOME,
+    L1_TO_LLC_REPLICA,
+    LATENCY_BUCKETS,
+    LLC_HOME_TO_OFFCHIP,
+    LLC_HOME_TO_SHARERS,
+    LLC_HOME_WAITING,
+    SYNCHRONIZATION,
+    SimStats,
+)
+
+__all__ = [
+    "COMPUTE",
+    "L1_HIT_TIME",
+    "L1_TO_LLC_HOME",
+    "L1_TO_LLC_REPLICA",
+    "LATENCY_BUCKETS",
+    "LLC_HOME_TO_OFFCHIP",
+    "LLC_HOME_TO_SHARERS",
+    "LLC_HOME_WAITING",
+    "SYNCHRONIZATION",
+    "SimStats",
+]

@@ -1,0 +1,122 @@
+"""Run-length profiler for the Figure 1 motivation study.
+
+The paper defines **run-length** as the number of accesses to a cache
+line at the LLC from one core before a conflicting access by another
+core (where at least one of the two is a write) or before the line's
+eviction.  Figure 1 plots, per benchmark, the distribution of LLC
+accesses over (data class × run-length bucket) with buckets
+[1–2], [3–9] and [≥10].
+
+The profiler attaches to an S-NUCA run (no replication — all LLC traffic
+reaches the home, exactly the vantage point the motivation study needs)
+via the :class:`~repro.schemes.base.ProtocolObserver` hooks and streams
+run bookkeeping per (line, core).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.common.params import MachineConfig
+from repro.common.types import LineClass
+from repro.schemes.base import ProtocolObserver
+from repro.schemes.snuca import SNucaScheme
+from repro.sim.simulator import simulate
+from repro.workloads.trace import TraceSet
+
+#: Figure 1 run-length buckets, as (label, low, high-inclusive).
+RUN_LENGTH_BUCKETS = (("[1-2]", 1, 2), ("[3-9]", 3, 9), ("[>=10]", 10, None))
+
+
+def bucket_label(run_length: int) -> str:
+    for label, low, high in RUN_LENGTH_BUCKETS:
+        if run_length >= low and (high is None or run_length <= high):
+            return label
+    raise ValueError(f"run length {run_length} must be >= 1")
+
+
+@dataclasses.dataclass
+class RunLengthProfile:
+    """Result of one profiling run: access mass per (class, bucket)."""
+
+    benchmark: str
+    #: (LineClass, bucket label) -> number of LLC accesses in such runs.
+    mass: Counter
+
+    def fractions(self) -> dict[tuple[LineClass, str], float]:
+        total = sum(self.mass.values())
+        if total == 0:
+            return {}
+        return {key: value / total for key, value in self.mass.items()}
+
+    def class_fraction(self, line_class: LineClass) -> float:
+        """Total access fraction belonging to one data class."""
+        total = sum(self.mass.values())
+        if total == 0:
+            return 0.0
+        class_mass = sum(
+            value for (cls, _bucket), value in self.mass.items() if cls == line_class
+        )
+        return class_mass / total
+
+    def high_reuse_fraction(self) -> float:
+        """Fraction of LLC accesses in runs of length >= 3 (replication-worthy)."""
+        total = sum(self.mass.values())
+        if total == 0:
+            return 0.0
+        high = sum(
+            value for (_cls, bucket), value in self.mass.items() if bucket != "[1-2]"
+        )
+        return high / total
+
+
+class _RunLengthObserver(ProtocolObserver):
+    """Tracks per-(line, core) LLC access runs."""
+
+    def __init__(self, traces: TraceSet) -> None:
+        self.traces = traces
+        #: (line, core) -> current run length.
+        self.open_runs: dict[int, dict[int, int]] = {}
+        self.mass: Counter = Counter()
+
+    # -- observer hooks -----------------------------------------------------
+    def on_llc_home_access(self, core: int, line_addr: int, is_write: bool) -> None:
+        runs = self.open_runs.setdefault(line_addr, {})
+        if is_write:
+            # A write conflicts with every other core's open run.
+            for other_core, length in list(runs.items()):
+                if other_core != core:
+                    self._close(line_addr, other_core, length)
+                    del runs[other_core]
+        runs[core] = runs.get(core, 0) + 1
+
+    def on_home_eviction(self, line_addr: int) -> None:
+        runs = self.open_runs.pop(line_addr, None)
+        if not runs:
+            return
+        for core, length in runs.items():
+            self._close(line_addr, core, length)
+
+    # -- bookkeeping ------------------------------------------------------------
+    def _close(self, line_addr: int, core: int, length: int) -> None:
+        if length < 1:
+            return
+        line_class = self.traces.classify(line_addr)
+        self.mass[(line_class, bucket_label(length))] += length
+
+    def finish(self) -> None:
+        """Close every run still open at the end of the simulation."""
+        for line_addr, runs in self.open_runs.items():
+            for core, length in runs.items():
+                self._close(line_addr, core, length)
+        self.open_runs.clear()
+
+
+def profile_run_lengths(config: MachineConfig, traces: TraceSet) -> RunLengthProfile:
+    """Run the Figure 1 profiler over one benchmark trace."""
+    observer = _RunLengthObserver(traces)
+    engine = SNucaScheme(config, observer)
+    simulate(engine, traces)
+    observer.finish()
+    return RunLengthProfile(traces.name, observer.mass)

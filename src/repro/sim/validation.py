@@ -1,0 +1,92 @@
+"""Closed-form latency predictions for contention-free accesses.
+
+These are the analytic counterparts of the simulator's timing model:
+for a single access on an otherwise idle machine, the latency is exactly
+the sum of the Table 1 components, with zero queueing anywhere.  The
+test-suite drives single accesses through the engine and asserts
+equality, which pins the timing model against accidental regressions
+(a misplaced latency charge shows up as an off-by-cycles failure here).
+"""
+
+from __future__ import annotations
+
+from repro.common.params import MachineConfig
+from repro.network.topology import MeshTopology
+
+
+def l1_hit_latency(config: MachineConfig) -> float:
+    """An L1 hit costs exactly the L1 access latency."""
+    return float(config.l1_latency)
+
+
+def message_latency(config: MachineConfig, hops: int, flits: int) -> float:
+    """Unloaded mesh message latency: per-hop cost plus tail serialization."""
+    if hops == 0:
+        return 0.0
+    return hops * config.hop_latency + (flits - 1)
+
+
+def local_home_hit_latency(config: MachineConfig) -> float:
+    """L1 miss that hits the home entry in the requester's own slice.
+
+    No network, no sharer actions: L1 probe + LLC tag + LLC data.
+    """
+    return float(
+        config.l1_latency + config.llc_tag_latency + config.llc_data_latency
+    )
+
+
+def remote_home_hit_latency(
+    config: MachineConfig, requester: int, home: int, probe: bool = False
+) -> float:
+    """L1 miss serviced at a remote home with no sharer actions.
+
+    ``probe`` adds the failed local-replica tag probe the locality-aware
+    scheme pays before forwarding (Section 2.3.2).
+    """
+    topology = MeshTopology(config.num_cores)
+    hops = topology.hops(requester, home)
+    control = config.header_flits
+    data = config.header_flits + config.cache_line_flits
+    latency = (
+        config.l1_latency
+        + message_latency(config, hops, control)       # request
+        + config.llc_tag_latency
+        + config.llc_data_latency
+        + message_latency(config, hops, data)          # response
+    )
+    if probe:
+        latency += config.llc_tag_latency
+    return float(latency)
+
+
+def replica_hit_latency(config: MachineConfig) -> float:
+    """L1 miss that hits a replica in the requester's own slice."""
+    return float(
+        config.l1_latency + config.llc_tag_latency + config.llc_data_latency
+    )
+
+
+def offchip_miss_latency(
+    config: MachineConfig, requester: int, home: int, controller_tile: int,
+    probe: bool = False,
+) -> float:
+    """Cold miss: remote home plus the DRAM round trip (no queueing)."""
+    topology = MeshTopology(config.num_cores)
+    request_hops = topology.hops(requester, home)
+    dram_hops = topology.hops(home, controller_tile)
+    control = config.header_flits
+    data = config.header_flits + config.cache_line_flits
+    latency = (
+        config.l1_latency
+        + message_latency(config, request_hops, control)
+        + config.llc_tag_latency
+        + message_latency(config, dram_hops, control)   # home -> controller
+        + config.dram_latency_cycles
+        + message_latency(config, dram_hops, data)      # controller -> home
+        + config.llc_data_latency
+        + message_latency(config, request_hops, data)   # response
+    )
+    if probe:
+        latency += config.llc_tag_latency
+    return float(latency)

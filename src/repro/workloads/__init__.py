@@ -1,0 +1,41 @@
+"""Workloads: trace format, synthetic generators, benchmark catalog."""
+
+from repro.workloads.benchmarks import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    BenchmarkProfile,
+    build_trace,
+    get_profile,
+)
+from repro.workloads.io import load_trace_set, save_trace_set
+from repro.workloads.generators import (
+    ComponentStream,
+    compute_gaps,
+    interleave_components,
+    loop_component,
+    migratory_component,
+    producer_consumer_component,
+    stream_component,
+    zipf_component,
+)
+from repro.workloads.trace import CoreTrace, TraceSet
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "BenchmarkProfile",
+    "ComponentStream",
+    "CoreTrace",
+    "TraceSet",
+    "build_trace",
+    "compute_gaps",
+    "get_profile",
+    "interleave_components",
+    "load_trace_set",
+    "loop_component",
+    "migratory_component",
+    "save_trace_set",
+    "producer_consumer_component",
+    "stream_component",
+    "zipf_component",
+]

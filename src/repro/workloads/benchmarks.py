@@ -1,0 +1,493 @@
+"""The 21-benchmark catalog (Table 2 equivalent) and the trace builder.
+
+Each profile is a synthetic stand-in for one paper benchmark, with its
+mix of instruction / private / shared-read-only / shared-read-write /
+migratory accesses, working-set sizes and access patterns chosen to
+match the paper's qualitative description of that benchmark (Figure 1
+run-length mix and the Section 4.1 narrative).  The paper's actual
+problem sizes are recorded in ``paper_input`` for the Table 2 listing.
+
+Working sets are expressed *relative to the machine's cache geometry*
+(multiples of an L1-D, an L1-I or the machine's total LLC capacity), so
+the same profile exercises the same pressure regime on the scaled-down
+test machine and on the full Table 1 configuration:
+
+* a loop working set a few times the L1 size produces the high LLC reuse
+  that rewards replication (BARNES, STREAMCLUSTER);
+* a streaming working set beyond the total LLC capacity produces the
+  off-chip-bound behaviour where replication can only hurt (OCEAN,
+  FLUIDANIMATE, CONCOMP);
+* unaligned private allocation reproduces BLACKSCHOLES' page-level false
+  sharing, which defeats R-NUCA's page-granularity classification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+
+import numpy as np
+
+from repro.common.addr import Region, RegionAllocator
+from repro.common.params import MachineConfig
+from repro.common.types import AccessType, LineClass
+from repro.workloads.generators import (
+    ComponentStream,
+    compute_gaps,
+    interleave_components,
+    loop_component,
+    migratory_component,
+    stream_component,
+    zipf_component,
+)
+from repro.workloads.trace import CoreTrace, TraceSet
+
+_PATTERNS = ("loop", "zipf", "stream")
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkProfile:
+    """Synthetic model of one paper benchmark."""
+
+    name: str
+    description: str
+    #: Problem size the paper used (Table 2), for reporting only.
+    paper_input: str = ""
+
+    # -- access mix (fractions sum to ~1.0) ---------------------------------
+    f_ifetch: float = 0.03
+    f_private: float = 0.50
+    f_shared_ro: float = 0.20
+    f_shared_rw: float = 0.27
+    f_migratory: float = 0.00
+
+    # -- access patterns ------------------------------------------------------
+    private_pattern: str = "loop"
+    shared_ro_pattern: str = "loop"
+    shared_rw_pattern: str = "loop"
+
+    # -- working sets ------------------------------------------------------------
+    #: Instruction region in multiples of one L1-I capacity.
+    instr_ws_x_l1i: float = 0.5
+    #: Per-core private region in multiples of one L1-D capacity.
+    private_ws_x_l1d: float = 1.5
+    #: Shared read-only region in multiples of one L1-D capacity.
+    shared_ro_ws_x_l1d: float = 4.0
+    #: Shared read-write region in multiples of one L1-D capacity.
+    shared_rw_ws_x_l1d: float = 4.0
+    #: Overrides (fraction of the machine's total LLC capacity) for
+    #: capacity-pressure benchmarks; None keeps the L1-relative size.
+    shared_ro_ws_x_llc: float | None = None
+    shared_rw_ws_x_llc: float | None = None
+    #: Migratory window per core in multiples of one L1-D capacity.
+    migratory_window_x_l1d: float = 1.5
+
+    # -- behaviour knobs ---------------------------------------------------------
+    #: Consecutive touches per private line (L1-level temporal locality).
+    private_burst: int = 3
+    #: Partitioned shared data (grid/partition workloads like RADIX and
+    #: OCEAN): each core works on its own contiguous chunk of the shared
+    #: region with a small spill into its neighbour's chunk.  Most pages
+    #: then have a single toucher — which is why R-NUCA's page-granularity
+    #: classification is near-optimal on these benchmarks (Section 4.1).
+    shared_rw_partitioned: bool = False
+    write_frac_rw: float = 0.10
+    zipf_skew: float = 2.5
+    false_sharing: bool = False
+    mean_gap: float = 2.0
+    accesses_per_core: int = 3000
+    barriers: int = 4
+
+    def __post_init__(self) -> None:
+        for pattern in (self.private_pattern, self.shared_ro_pattern, self.shared_rw_pattern):
+            if pattern not in _PATTERNS:
+                raise ValueError(f"unknown pattern {pattern!r}")
+        total = (
+            self.f_ifetch + self.f_private + self.f_shared_ro
+            + self.f_shared_rw + self.f_migratory
+        )
+        if not 0.99 <= total <= 1.01:
+            raise ValueError(f"{self.name}: mix fractions sum to {total:.3f}, expected 1.0")
+
+    # -- region sizing ---------------------------------------------------------
+    def instr_lines(self, config: MachineConfig) -> int:
+        return max(4, round(self.instr_ws_x_l1i * config.l1i.lines))
+
+    def private_lines(self, config: MachineConfig) -> int:
+        return max(4, round(self.private_ws_x_l1d * config.l1d.lines))
+
+    def shared_ro_lines(self, config: MachineConfig) -> int:
+        return self._shared_lines(config, self.shared_ro_ws_x_llc, self.shared_ro_ws_x_l1d)
+
+    def shared_rw_lines(self, config: MachineConfig) -> int:
+        return self._shared_lines(config, self.shared_rw_ws_x_llc, self.shared_rw_ws_x_l1d)
+
+    def migratory_window(self, config: MachineConfig) -> int:
+        return max(4, round(self.migratory_window_x_l1d * config.l1d.lines))
+
+    @staticmethod
+    def _shared_lines(config: MachineConfig, x_llc: float | None, x_l1d: float) -> int:
+        if x_llc is not None:
+            total_llc = config.llc_slice.lines * config.num_cores
+            return max(8, round(x_llc * total_llc))
+        return max(8, round(x_l1d * config.l1d.lines))
+
+
+def _pattern_component(
+    pattern: str,
+    region: Region,
+    count: int,
+    rng: np.random.Generator,
+    write_frac: float,
+    skew: float,
+    phase: int,
+    burst: int = 1,
+) -> ComponentStream:
+    if pattern == "loop":
+        return loop_component(region, count, rng, write_frac=write_frac,
+                              phase=phase, burst=burst)
+    if pattern == "zipf":
+        return zipf_component(region, count, rng, skew=skew,
+                              write_frac=write_frac, burst=burst)
+    return stream_component(region, count, rng, write_frac=write_frac,
+                            phase=phase, burst=burst)
+
+
+def build_trace(
+    profile: BenchmarkProfile,
+    config: MachineConfig,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> TraceSet:
+    """Generate the per-core access streams for one benchmark run."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    allocator = RegionAllocator(config.lines_per_page)
+    regions: list[tuple[Region, LineClass]] = []
+
+    instr_region = allocator.allocate(profile.instr_lines(config))
+    regions.append((instr_region, LineClass.INSTRUCTION))
+
+    private_regions: list[Region] = []
+    for _core in range(config.num_cores):
+        if profile.false_sharing:
+            region = allocator.allocate_unaligned(profile.private_lines(config))
+        else:
+            region = allocator.allocate(profile.private_lines(config))
+        private_regions.append(region)
+        regions.append((region, LineClass.PRIVATE))
+
+    shared_ro_region = allocator.allocate(profile.shared_ro_lines(config))
+    regions.append((shared_ro_region, LineClass.SHARED_RO))
+    shared_rw_region = allocator.allocate(profile.shared_rw_lines(config))
+    regions.append((shared_rw_region, LineClass.SHARED_RW))
+
+    migratory_region: Region | None = None
+    if profile.f_migratory > 0:
+        window = profile.migratory_window(config)
+        migratory_region = allocator.allocate(window * config.num_cores)
+        regions.append((migratory_region, LineClass.SHARED_RW))
+
+    count = max(16, round(profile.accesses_per_core * scale))
+    profile_tag = zlib.crc32(profile.name.encode())
+    cores: list[CoreTrace] = []
+    for core in range(config.num_cores):
+        rng = np.random.default_rng((seed, core, profile_tag))
+        components: list[ComponentStream] = []
+        fractions: list[float] = []
+
+        if profile.f_ifetch > 0:
+            components.append(loop_component(
+                instr_region, count, rng, ifetch=True,
+                phase=(core * 7) % max(1, instr_region.size),
+            ))
+            fractions.append(profile.f_ifetch)
+        if profile.f_private > 0:
+            # Private data is L1-resident in real code: touch each line in
+            # short bursts so the L1 absorbs most of the component.
+            components.append(_pattern_component(
+                profile.private_pattern, private_regions[core], count, rng,
+                write_frac=0.3, skew=profile.zipf_skew, phase=0,
+                burst=profile.private_burst,
+            ))
+            fractions.append(profile.f_private)
+        if profile.f_shared_ro > 0:
+            phase = (core * shared_ro_region.size) // max(1, config.num_cores)
+            components.append(_pattern_component(
+                profile.shared_ro_pattern, shared_ro_region, count, rng,
+                write_frac=0.0, skew=profile.zipf_skew, phase=phase,
+            ))
+            fractions.append(profile.f_shared_ro)
+        if profile.f_shared_rw > 0:
+            if profile.shared_rw_partitioned:
+                component_region = _core_partition(
+                    shared_rw_region, core, config.num_cores
+                )
+                phase = 0
+            else:
+                component_region = shared_rw_region
+                phase = (core * shared_rw_region.size) // max(1, config.num_cores)
+            components.append(_pattern_component(
+                profile.shared_rw_pattern, component_region, count, rng,
+                write_frac=profile.write_frac_rw, skew=profile.zipf_skew, phase=phase,
+            ))
+            fractions.append(profile.f_shared_rw)
+        if profile.f_migratory > 0:
+            assert migratory_region is not None
+            components.append(migratory_component(
+                migratory_region, count, rng, core, config.num_cores,
+                window_lines=profile.migratory_window(config),
+            ))
+            fractions.append(profile.f_migratory)
+
+        types, lines = interleave_components(components, fractions, count, rng)
+        gaps = compute_gaps(count, rng, profile.mean_gap)
+        types, lines, gaps = _insert_barriers(types, lines, gaps, profile.barriers)
+        cores.append(CoreTrace(types, lines, gaps))
+
+    return TraceSet(profile.name, cores, regions)
+
+
+def _core_partition(region: Region, core: int, num_cores: int) -> Region:
+    """One core's chunk of a partitioned shared region, with ~12% spill
+    into the next core's chunk (boundary exchange -> true sharing)."""
+    chunk = max(1, region.size // num_cores)
+    overlap = max(1, chunk // 8)
+    base = region.base + core * chunk
+    size = min(chunk + overlap, region.end - base)
+    return Region(base, max(1, size))
+
+
+def _insert_barriers(
+    types: np.ndarray, lines: np.ndarray, gaps: np.ndarray, barriers: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Insert ``barriers`` barrier records at equal intervals."""
+    if barriers <= 0:
+        return types, lines, gaps
+    count = len(types)
+    positions = [((index + 1) * count) // (barriers + 1) for index in range(barriers)]
+    types = np.insert(types, positions, np.uint8(AccessType.BARRIER))
+    lines = np.insert(lines, positions, np.int64(0))
+    gaps = np.insert(gaps, positions, np.uint16(0))
+    return types, lines, gaps
+
+
+# ---------------------------------------------------------------------------
+# The catalog: SPLASH-2, PARSEC, MiBench and UHPC profiles (Table 2)
+# ---------------------------------------------------------------------------
+
+def _p(**kwargs) -> BenchmarkProfile:
+    return BenchmarkProfile(**kwargs)
+
+
+BENCHMARKS: dict[str, BenchmarkProfile] = {
+    profile.name: profile
+    for profile in (
+        # -- SPLASH-2 -----------------------------------------------------------
+        _p(
+            name="RADIX", shared_rw_partitioned=True, paper_input="4M integers, radix 1024",
+            description="Radix sort: streaming private keys plus low-reuse "
+                        "shared histogram; replication is useless.",
+            f_ifetch=0.02, f_private=0.58, f_shared_ro=0.05, f_shared_rw=0.35,
+            private_pattern="stream", shared_rw_pattern="stream",
+            private_ws_x_l1d=3.0, shared_rw_ws_x_llc=0.6, shared_ro_ws_x_l1d=1.0,
+            write_frac_rw=0.30,
+        ),
+        _p(
+            name="FFT", shared_rw_partitioned=True, paper_input="4M complex data points",
+            description="FFT transpose: streaming private data and a large "
+                        "low-reuse shared matrix.",
+            f_ifetch=0.02, f_private=0.55, f_shared_ro=0.08, f_shared_rw=0.35,
+            private_pattern="stream", shared_rw_pattern="stream",
+            private_ws_x_l1d=2.5, shared_rw_ws_x_llc=0.5, shared_ro_ws_x_l1d=1.5,
+            write_frac_rw=0.25,
+        ),
+        _p(
+            name="LU-C", paper_input="1024x1024 matrix (contiguous)",
+            description="Blocked LU with contiguous blocks: private-heavy "
+                        "loops with good reuse; R-NUCA already near-optimal.",
+            f_ifetch=0.02, f_private=0.70, f_shared_ro=0.18, f_shared_rw=0.10,
+            private_ws_x_l1d=2.0, shared_ro_ws_x_l1d=3.0, shared_rw_ws_x_l1d=2.0,
+            write_frac_rw=0.10,
+        ),
+        _p(
+            name="LU-NC", paper_input="1024x1024 matrix (non-contiguous)",
+            description="Non-contiguous LU: migratory shared blocks with "
+                        "rotating exclusive ownership; needs E/M replicas.",
+            f_ifetch=0.02, f_private=0.38, f_shared_ro=0.10, f_shared_rw=0.0,
+            f_migratory=0.50, private_ws_x_l1d=1.5, shared_ro_ws_x_l1d=2.0,
+            migratory_window_x_l1d=1.5,
+        ),
+        _p(
+            name="CHOLESKY", paper_input="tk29.O",
+            description="Sparse factorization: mixed private/shared panels "
+                        "with moderate reuse.",
+            f_ifetch=0.05, f_private=0.45, f_shared_ro=0.30, f_shared_rw=0.20,
+            shared_ro_pattern="zipf", private_ws_x_l1d=2.0,
+            shared_ro_ws_x_l1d=5.0, shared_rw_ws_x_l1d=3.0, write_frac_rw=0.10,
+        ),
+        _p(
+            name="BARNES", paper_input="64K particles",
+            description="N-body octree: >90% of LLC accesses hit shared "
+                        "read-write particle data with run-length >= 10 — the "
+                        "flagship case for replicating read-write data.",
+            f_ifetch=0.02, f_private=0.13, f_shared_ro=0.05, f_shared_rw=0.80,
+            private_ws_x_l1d=1.0, shared_ro_ws_x_l1d=2.0, shared_rw_ws_x_l1d=6.0,
+            write_frac_rw=0.02, accesses_per_core=7000,
+        ),
+        _p(
+            name="OCEAN-C", shared_rw_partitioned=True, paper_input="2050x2050 ocean",
+            description="Grid solver, contiguous partitions: streaming over a "
+                        "working set beyond the LLC; off-chip bound.",
+            f_ifetch=0.02, f_private=0.60, f_shared_ro=0.03, f_shared_rw=0.35,
+            private_pattern="stream", shared_rw_pattern="stream",
+            private_ws_x_l1d=4.0, shared_rw_ws_x_llc=1.5, shared_ro_ws_x_l1d=1.0,
+            write_frac_rw=0.30,
+        ),
+        _p(
+            name="OCEAN-NC", shared_rw_partitioned=True, paper_input="1026x1026 ocean",
+            description="Grid solver, non-contiguous partitions: like OCEAN-C "
+                        "with more shared boundary traffic.",
+            f_ifetch=0.02, f_private=0.50, f_shared_ro=0.03, f_shared_rw=0.45,
+            private_pattern="stream", shared_rw_pattern="stream",
+            private_ws_x_l1d=3.0, shared_rw_ws_x_llc=1.0, shared_ro_ws_x_l1d=1.0,
+            write_frac_rw=0.30,
+        ),
+        _p(
+            name="WATER-NSQ", paper_input="512 molecules",
+            description="Molecular dynamics: shared molecule array read by "
+                        "all cores each step with sparse updates.",
+            f_ifetch=0.03, f_private=0.30, f_shared_ro=0.25, f_shared_rw=0.42,
+            private_ws_x_l1d=1.0, shared_ro_ws_x_l1d=3.0, shared_rw_ws_x_l1d=6.0,
+            write_frac_rw=0.06, accesses_per_core=5500,
+        ),
+        _p(
+            name="RAYTRACE", paper_input="car",
+            description="Ray tracer: large read-only scene with skewed reuse "
+                        "plus a visible instruction working set.",
+            f_ifetch=0.18, f_private=0.15, f_shared_ro=0.60, f_shared_rw=0.07,
+            shared_ro_pattern="zipf", instr_ws_x_l1i=2.0,
+            private_ws_x_l1d=1.0, shared_ro_ws_x_l1d=8.0, shared_rw_ws_x_l1d=1.0,
+            write_frac_rw=0.15, zipf_skew=3.0, accesses_per_core=4500,
+        ),
+        _p(
+            name="VOLREND", paper_input="head",
+            description="Volume renderer: shared read-only voxel data and "
+                        "moderate instruction pressure.",
+            f_ifetch=0.12, f_private=0.20, f_shared_ro=0.55, f_shared_rw=0.13,
+            shared_ro_pattern="zipf", instr_ws_x_l1i=1.5,
+            private_ws_x_l1d=1.0, shared_ro_ws_x_l1d=6.0, shared_rw_ws_x_l1d=1.5,
+            write_frac_rw=0.10, accesses_per_core=4500,
+        ),
+        # -- PARSEC ----------------------------------------------------------------
+        _p(
+            name="BLACKSCHOLES", paper_input="65,536 options",
+            description="Option pricing: thread-private option slices that "
+                        "falsely share pages, defeating R-NUCA's page-level "
+                        "classification; line-level replication recovers it.",
+            f_ifetch=0.03, f_private=0.85, f_shared_ro=0.10, f_shared_rw=0.02,
+            false_sharing=True, private_ws_x_l1d=1.5,
+            shared_ro_ws_x_l1d=2.0, shared_rw_ws_x_l1d=1.0, write_frac_rw=0.05,
+        ),
+        _p(
+            name="SWAPTIONS", paper_input="64 swaptions, 20,000 sims.",
+            description="Monte-Carlo pricing: private simulation state with "
+                        "high reuse and a small shared term structure.",
+            f_ifetch=0.04, f_private=0.76, f_shared_ro=0.18, f_shared_rw=0.02,
+            private_ws_x_l1d=1.5, shared_ro_ws_x_l1d=2.0, shared_rw_ws_x_l1d=1.0,
+            write_frac_rw=0.05,
+        ),
+        _p(
+            name="FLUIDANIMATE", shared_rw_partitioned=True, paper_input="5 frames, 300,000 particles",
+            description="Particle fluid: streaming over a grid beyond LLC "
+                        "capacity; blind replication (RT-1) raises the "
+                        "off-chip rate while RT-3 filters it out.",
+            f_ifetch=0.02, f_private=0.55, f_shared_ro=0.03, f_shared_rw=0.40,
+            private_pattern="loop", shared_rw_pattern="stream",
+            private_ws_x_l1d=1.5, shared_rw_ws_x_llc=1.5, shared_ro_ws_x_l1d=1.0,
+            write_frac_rw=0.20,
+        ),
+        _p(
+            name="STREAMCLUSTER", paper_input="8192 points per block, 1 block",
+            description="Online clustering: every core re-reads the shared "
+                        "cluster centers — intense shared read-only reuse, the "
+                        "classifier-sensitivity stress case (Figure 9).",
+            f_ifetch=0.03, f_private=0.35, f_shared_ro=0.55, f_shared_rw=0.07,
+            private_pattern="stream", private_ws_x_l1d=3.0,
+            shared_ro_ws_x_l1d=5.0, shared_rw_ws_x_l1d=1.0,
+            write_frac_rw=0.40, accesses_per_core=5500,
+        ),
+        _p(
+            name="DEDUP", paper_input="31 MB data",
+            description="Pipelined deduplication: almost exclusively private "
+                        "data with clean page alignment; R-NUCA is optimal.",
+            f_ifetch=0.04, f_private=0.90, f_shared_ro=0.04, f_shared_rw=0.02,
+            private_ws_x_l1d=2.0, shared_ro_ws_x_l1d=1.0, shared_rw_ws_x_l1d=1.0,
+            write_frac_rw=0.10,
+        ),
+        _p(
+            name="FERRET", paper_input="256 queries, 34,973 images",
+            description="Content-based search pipeline: shared read-only "
+                        "feature database with skewed reuse plus instructions.",
+            f_ifetch=0.10, f_private=0.35, f_shared_ro=0.45, f_shared_rw=0.10,
+            shared_ro_pattern="zipf", instr_ws_x_l1i=1.5,
+            private_ws_x_l1d=1.5, shared_ro_ws_x_l1d=6.0, shared_rw_ws_x_l1d=1.5,
+            write_frac_rw=0.10, accesses_per_core=4500,
+        ),
+        _p(
+            name="BODYTRACK", paper_input="4 frames, 4000 particles",
+            description="Vision pipeline: significant L1-I pressure (one of "
+                        "the three benchmarks with high I-MPKI) and shared "
+                        "read-only frame data.",
+            f_ifetch=0.20, f_private=0.25, f_shared_ro=0.45, f_shared_rw=0.10,
+            instr_ws_x_l1i=3.0, private_ws_x_l1d=1.0,
+            shared_ro_ws_x_l1d=4.0, shared_rw_ws_x_l1d=1.5, write_frac_rw=0.08,
+            accesses_per_core=4500,
+        ),
+        _p(
+            name="FACESIM", paper_input="1 frame, 372,126 tetrahedrons",
+            description="Face simulation: high I-MPKI plus read-mostly shared "
+                        "mesh data with long run-lengths.",
+            f_ifetch=0.17, f_private=0.25, f_shared_ro=0.18, f_shared_rw=0.40,
+            instr_ws_x_l1i=3.0, private_ws_x_l1d=1.0,
+            shared_ro_ws_x_l1d=3.0, shared_rw_ws_x_l1d=6.0,
+            write_frac_rw=0.02, accesses_per_core=5500,
+        ),
+        # -- MiBench / UHPC -----------------------------------------------------------
+        _p(
+            name="PATRICIA", paper_input="5000 IP address queries",
+            description="Trie lookups: shared read-only trie nodes with very "
+                        "skewed reuse (root levels are hot).",
+            f_ifetch=0.08, f_private=0.17, f_shared_ro=0.70, f_shared_rw=0.05,
+            shared_ro_pattern="zipf", zipf_skew=3.0,
+            private_ws_x_l1d=1.0, shared_ro_ws_x_l1d=8.0, shared_rw_ws_x_l1d=1.0,
+            write_frac_rw=0.10, accesses_per_core=4500,
+        ),
+        _p(
+            name="CONCOMP", shared_rw_partitioned=True, paper_input="Graph with 2^18 nodes",
+            description="Connected components: irregular streaming over a "
+                        "graph beyond LLC capacity; heavy off-chip traffic.",
+            f_ifetch=0.02, f_private=0.28, f_shared_ro=0.10, f_shared_rw=0.60,
+            private_pattern="stream", shared_rw_pattern="stream",
+            private_ws_x_l1d=2.0, shared_rw_ws_x_llc=2.0, shared_ro_ws_x_l1d=2.0,
+            write_frac_rw=0.25,
+        ),
+    )
+}
+
+#: Figure ordering used by the paper's plots.
+BENCHMARK_ORDER = (
+    "RADIX", "FFT", "LU-C", "LU-NC", "CHOLESKY", "BARNES", "OCEAN-C",
+    "OCEAN-NC", "WATER-NSQ", "RAYTRACE", "VOLREND", "BLACKSCHOLES",
+    "SWAPTIONS", "FLUIDANIMATE", "STREAMCLUSTER", "DEDUP", "FERRET",
+    "BODYTRACK", "FACESIM", "PATRICIA", "CONCOMP",
+)
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; expected one of {sorted(BENCHMARKS)}"
+        ) from None

@@ -1,0 +1,195 @@
+"""Synthetic access-pattern generators.
+
+Each generator produces a per-core stream of ``(type, line)`` pairs for
+one *component* of a benchmark (instructions, private data, shared
+read-only, shared read-write, migratory).  The benchmark builder
+interleaves components according to the profile's mix fractions.
+
+The patterns are the ones the paper's Section 4.1 narrative attributes
+to its benchmarks:
+
+* ``loop`` — cyclic sweeps over a working set.  When the working set
+  exceeds the L1 the same lines miss again every sweep, producing the
+  high LLC run-lengths that make replication profitable (BARNES).
+* ``zipf`` — skewed popularity; hot lines live in the L1, the warm
+  middle produces moderate LLC reuse (CHOLESKY, RAYTRACE).
+* ``stream`` — a single sequential pass; every line sees one or two LLC
+  accesses, replication is useless (OCEAN, FLUIDANIMATE, RADIX).
+* ``migratory`` — read-modify-write bursts with ownership rotating among
+  cores (LU-NC); replication needs E/M replicas to help here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.addr import Region
+from repro.common.types import AccessType
+
+
+class ComponentStream:
+    """Pull-based address source for one benchmark component."""
+
+    def __init__(self, addresses: np.ndarray, types: np.ndarray) -> None:
+        if len(addresses) != len(types):
+            raise ValueError("addresses and types must align")
+        self.addresses = addresses
+        self.types = types
+        self._cursor = 0
+
+    def take(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """The next ``count`` records (wraps around if exhausted)."""
+        n = len(self.addresses)
+        if n == 0:
+            raise ValueError("empty component stream")
+        start = self._cursor
+        self._cursor = (self._cursor + count) % n
+        indices = (start + np.arange(count)) % n
+        return self.addresses[indices], self.types[indices]
+
+
+def loop_component(
+    region: Region, count: int, rng: np.random.Generator, write_frac: float = 0.0,
+    ifetch: bool = False, phase: int = 0, burst: int = 1,
+) -> ComponentStream:
+    """Cyclic sweep over the region, starting at a per-core phase offset.
+
+    ``burst > 1`` touches each line that many times in a row — the
+    short-range temporal locality real code exhibits, which the L1
+    absorbs (only the first access of a burst reaches the LLC).
+    """
+    if burst < 1:
+        raise ValueError("burst must be >= 1")
+    offsets = (phase + np.arange(count) // burst) % region.size
+    addresses = region.base + offsets
+    types = _access_types(count, rng, write_frac, ifetch)
+    return ComponentStream(addresses, types)
+
+
+def zipf_component(
+    region: Region, count: int, rng: np.random.Generator, skew: float = 2.0,
+    write_frac: float = 0.0, ifetch: bool = False, burst: int = 1,
+) -> ComponentStream:
+    """Skewed popularity: index = size * u^skew concentrates on low lines."""
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    if burst < 1:
+        raise ValueError("burst must be >= 1")
+    draws = (count + burst - 1) // burst
+    uniform = rng.random(draws)
+    drawn = np.minimum((region.size * uniform ** skew).astype(np.int64), region.size - 1)
+    offsets = np.repeat(drawn, burst)[:count]
+    addresses = region.base + offsets
+    types = _access_types(count, rng, write_frac, ifetch)
+    return ComponentStream(addresses, types)
+
+
+def stream_component(
+    region: Region, count: int, rng: np.random.Generator, write_frac: float = 0.0,
+    phase: int = 0, burst: int = 1,
+) -> ComponentStream:
+    """Sequential single-pass streaming (wraps only when count > size)."""
+    if burst < 1:
+        raise ValueError("burst must be >= 1")
+    offsets = (phase + np.arange(count) // burst) % region.size
+    addresses = region.base + offsets
+    types = _access_types(count, rng, write_frac, ifetch=False)
+    return ComponentStream(addresses, types)
+
+
+def migratory_component(
+    region: Region, count: int, rng: np.random.Generator, core: int, num_cores: int,
+    window_lines: int, epoch_sweeps: int = 5,
+) -> ComponentStream:
+    """Migratory shared data: exclusive R/W ownership that rotates.
+
+    Each core owns a ``window_lines``-line window of the region for one
+    *epoch*, sweeping it ``epoch_sweeps`` times with alternating
+    read/write pairs; windows then rotate to the next core.  A window
+    larger than the L1 makes every sweep miss the L1, so the owner's home
+    reuse accumulates between hand-offs — the access pattern the paper
+    calls migratory (LU-NC) and the reason replicas must support the E/M
+    states (Section 2.3.1).
+    """
+    if window_lines < 1:
+        raise ValueError("window_lines must be >= 1")
+    if region.size < window_lines * num_cores:
+        raise ValueError("region too small for disjoint per-core windows")
+    index = np.arange(count, dtype=np.int64)
+    epoch_len = window_lines * epoch_sweeps * 2  # R+W per line per sweep
+    epoch = index // epoch_len
+    line_in_window = (index % epoch_len) // 2 % window_lines
+    window_base = ((core + epoch) * window_lines) % region.size
+    addresses = region.base + (window_base + line_in_window) % region.size
+    types = np.where(
+        index % 2 == 0, AccessType.READ, AccessType.WRITE
+    ).astype(np.uint8)
+    return ComponentStream(addresses, types)
+
+
+def producer_consumer_component(
+    region: Region, count: int, rng: np.random.Generator, core: int, num_cores: int,
+) -> ComponentStream:
+    """Alternating writer/readers over a small mailbox region.
+
+    Even phases: core 0 writes the mailbox lines; odd phases: everyone
+    reads them.  Approximated statistically per core: core 0 writes with
+    high probability, others read.
+    """
+    offsets = rng.integers(0, region.size, count)
+    addresses = region.base + offsets
+    if core == 0:
+        types = np.where(
+            rng.random(count) < 0.7, AccessType.WRITE, AccessType.READ
+        ).astype(np.uint8)
+    else:
+        types = np.full(count, AccessType.READ, dtype=np.uint8)
+    return ComponentStream(addresses, types)
+
+
+def _access_types(
+    count: int, rng: np.random.Generator, write_frac: float, ifetch: bool
+) -> np.ndarray:
+    if ifetch:
+        if write_frac:
+            raise ValueError("instruction fetches cannot write")
+        return np.full(count, AccessType.IFETCH, dtype=np.uint8)
+    if write_frac <= 0.0:
+        return np.full(count, AccessType.READ, dtype=np.uint8)
+    draws = rng.random(count)
+    return np.where(draws < write_frac, AccessType.WRITE, AccessType.READ).astype(np.uint8)
+
+
+def interleave_components(
+    components: list[ComponentStream],
+    fractions: list[float],
+    count: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mix component streams into one per-core stream by mix fractions."""
+    if len(components) != len(fractions):
+        raise ValueError("one fraction per component required")
+    total = sum(fractions)
+    if total <= 0:
+        raise ValueError("fractions must sum to a positive value")
+    probabilities = np.asarray(fractions, dtype=np.float64) / total
+    choices = rng.choice(len(components), size=count, p=probabilities)
+    lines = np.empty(count, dtype=np.int64)
+    types = np.empty(count, dtype=np.uint8)
+    for index, component in enumerate(components):
+        mask = choices == index
+        picked = int(np.count_nonzero(mask))
+        if picked == 0:
+            continue
+        addresses, access_types = component.take(picked)
+        lines[mask] = addresses
+        types[mask] = access_types
+    return types, lines
+
+
+def compute_gaps(count: int, rng: np.random.Generator, mean_gap: float) -> np.ndarray:
+    """Non-memory cycles before each access (geometric around the mean)."""
+    if mean_gap <= 0:
+        return np.zeros(count, dtype=np.uint16)
+    gaps = rng.geometric(1.0 / (1.0 + mean_gap), size=count) - 1
+    return np.minimum(gaps, 64).astype(np.uint16)

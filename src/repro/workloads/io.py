@@ -1,0 +1,72 @@
+"""Trace persistence: save/load trace sets as ``.npz`` archives.
+
+Generating a trace is fast, but persisted traces make experiments
+byte-reproducible across library versions and let users bring their own
+traces (e.g. converted from a real pin/DynamoRIO capture) into the
+simulator: any ``TraceSet`` can be rebuilt from three arrays per core
+plus the region/class table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.addr import Region
+from repro.common.types import LineClass
+from repro.workloads.trace import CoreTrace, TraceSet
+
+#: Format marker stored in the archive for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def save_trace_set(traces: TraceSet, path: str | Path) -> Path:
+    """Serialize a trace set to a single ``.npz`` file."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    for index, trace in enumerate(traces.cores):
+        arrays[f"types_{index}"] = trace.types
+        arrays[f"lines_{index}"] = trace.lines
+        arrays[f"gaps_{index}"] = trace.gaps
+    metadata = {
+        "version": FORMAT_VERSION,
+        "name": traces.name,
+        "num_cores": traces.num_cores,
+        "regions": [
+            {"base": region.base, "size": region.size, "class": int(line_class)}
+            for region, line_class in traces.regions
+        ],
+    }
+    arrays["metadata"] = np.frombuffer(
+        json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    # np.savez appends .npz when missing; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_trace_set(path: str | Path) -> TraceSet:
+    """Load a trace set previously written by :func:`save_trace_set`."""
+    with np.load(Path(path)) as archive:
+        metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+        version = metadata.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version!r}; "
+                f"expected {FORMAT_VERSION}"
+            )
+        cores = [
+            CoreTrace(
+                types=archive[f"types_{index}"],
+                lines=archive[f"lines_{index}"],
+                gaps=archive[f"gaps_{index}"],
+            )
+            for index in range(metadata["num_cores"])
+        ]
+    regions = [
+        (Region(entry["base"], entry["size"]), LineClass(entry["class"]))
+        for entry in metadata["regions"]
+    ]
+    return TraceSet(metadata["name"], cores, regions)

@@ -1,0 +1,82 @@
+"""Trace representation for the trace-driven simulator.
+
+A trace is one access stream per core.  Each record is
+``(type, line address, compute gap)`` where the gap is the number of
+non-memory cycles the in-order core spends before issuing the access.
+``AccessType.BARRIER`` records synchronize all cores (every core must
+carry the same number of barriers).
+
+The :class:`TraceSet` also carries the region → data-class map so the
+Figure 1 profiler can classify lines without help from the simulator.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+import numpy as np
+
+from repro.common.addr import Region
+from repro.common.types import AccessType, LineClass
+
+
+@dataclasses.dataclass
+class CoreTrace:
+    """One core's access stream (parallel arrays)."""
+
+    types: np.ndarray   # uint8 AccessType values
+    lines: np.ndarray   # int64 line addresses
+    gaps: np.ndarray    # uint16 compute cycles preceding each access
+
+    def __post_init__(self) -> None:
+        if not (len(self.types) == len(self.lines) == len(self.gaps)):
+            raise ValueError("trace arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.types)
+
+    def barrier_count(self) -> int:
+        return int(np.count_nonzero(self.types == AccessType.BARRIER))
+
+
+@dataclasses.dataclass
+class TraceSet:
+    """Per-core traces plus the data-class layout of the address space."""
+
+    name: str
+    cores: list[CoreTrace]
+    #: (region, class) pairs with non-overlapping regions.
+    regions: list[tuple[Region, LineClass]]
+
+    def __post_init__(self) -> None:
+        self._bases = sorted(
+            (region.base, region.end, line_class) for region, line_class in self.regions
+        )
+        self._starts = [base for base, _end, _cls in self._bases]
+        barrier_counts = {trace.barrier_count() for trace in self.cores}
+        if len(barrier_counts) > 1:
+            raise ValueError(f"cores disagree on barrier count: {barrier_counts}")
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    def classify(self, line_addr: int) -> LineClass:
+        """Data class of a line (Figure 1 categories)."""
+        index = bisect.bisect_right(self._starts, line_addr) - 1
+        if index >= 0:
+            base, end, line_class = self._bases[index]
+            if base <= line_addr < end:
+                return line_class
+        raise KeyError(f"line {line_addr:#x} not in any region")
+
+    def total_accesses(self) -> int:
+        barrier = int(AccessType.BARRIER)
+        return sum(
+            int(np.count_nonzero(trace.types != barrier)) for trace in self.cores
+        )
+
+    def footprint_lines(self) -> int:
+        """Total distinct lines allocated across all regions."""
+        return sum(region.size for region, _cls in self.regions)

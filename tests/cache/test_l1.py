@@ -1,0 +1,88 @@
+"""Private L1 cache behaviour."""
+
+import pytest
+
+from repro.cache.l1 import L1Cache
+from repro.common.params import CacheGeometry
+from repro.common.types import MESIState
+
+
+@pytest.fixture
+def l1():
+    return L1Cache(CacheGeometry(sets=2, ways=2))
+
+
+class TestProbeHit:
+    def test_read_hit_any_valid_state(self, l1):
+        l1.insert(0, MESIState.SHARED)
+        assert l1.probe_hit(0, write=False) is not None
+
+    def test_write_hit_requires_writable(self, l1):
+        l1.insert(0, MESIState.SHARED)
+        assert l1.probe_hit(0, write=True) is None
+
+    def test_write_hit_on_exclusive(self, l1):
+        l1.insert(0, MESIState.EXCLUSIVE)
+        assert l1.probe_hit(0, write=True) is not None
+
+    def test_write_hit_on_modified(self, l1):
+        l1.insert(0, MESIState.MODIFIED)
+        assert l1.probe_hit(0, write=True) is not None
+
+    def test_miss(self, l1):
+        assert l1.probe_hit(0, write=False) is None
+
+
+class TestInsert:
+    def test_returns_victim_when_full(self, l1):
+        l1.insert(0, MESIState.SHARED)
+        l1.insert(2, MESIState.SHARED)  # same set (2 sets)
+        _entry, victim = l1.insert(4, MESIState.SHARED)
+        assert victim is not None
+        assert victim.line_addr == 0  # LRU
+
+    def test_upgrade_in_place(self, l1):
+        l1.insert(0, MESIState.SHARED)
+        entry, victim = l1.insert(0, MESIState.MODIFIED)
+        assert victim is None
+        assert entry.state == MESIState.MODIFIED
+        assert len(l1) == 1
+
+    def test_victim_preserves_dirty_flag(self, l1):
+        entry, _ = l1.insert(0, MESIState.MODIFIED)
+        entry.dirty = True
+        l1.insert(2, MESIState.SHARED)
+        _entry, victim = l1.insert(4, MESIState.SHARED)
+        assert victim.dirty
+
+
+class TestInvalidate:
+    def test_removes_line(self, l1):
+        l1.insert(0, MESIState.SHARED)
+        removed = l1.invalidate(0)
+        assert removed is not None
+        assert l1.lookup(0) is None
+
+    def test_missing_line(self, l1):
+        assert l1.invalidate(0) is None
+
+
+class TestDowngrade:
+    def test_modified_reports_dirty(self, l1):
+        entry, _ = l1.insert(0, MESIState.MODIFIED)
+        assert l1.downgrade(0) is True
+        assert entry.state == MESIState.SHARED
+        assert not entry.dirty
+
+    def test_clean_exclusive_not_dirty(self, l1):
+        l1.insert(0, MESIState.EXCLUSIVE)
+        assert l1.downgrade(0) is False
+        assert l1.lookup(0).state == MESIState.SHARED
+
+    def test_dirty_flag_reported(self, l1):
+        entry, _ = l1.insert(0, MESIState.EXCLUSIVE)
+        entry.dirty = True
+        assert l1.downgrade(0) is True
+
+    def test_missing_line(self, l1):
+        assert l1.downgrade(0) is False

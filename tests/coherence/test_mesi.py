@@ -1,0 +1,54 @@
+"""MESI grant/transition helpers."""
+
+import pytest
+
+from repro.coherence.mesi import (
+    merged_state,
+    needs_downgrade,
+    needs_writeback,
+    read_grant_state,
+    write_grant_state,
+)
+from repro.common.types import MESIState
+
+
+class TestReadGrant:
+    def test_sole_reader_gets_exclusive(self):
+        assert read_grant_state(1) == MESIState.EXCLUSIVE
+
+    def test_multiple_readers_get_shared(self):
+        assert read_grant_state(2) == MESIState.SHARED
+        assert read_grant_state(10) == MESIState.SHARED
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            read_grant_state(0)
+
+
+class TestWriteGrant:
+    def test_writer_gets_modified(self):
+        assert write_grant_state() == MESIState.MODIFIED
+
+
+class TestHelpers:
+    def test_merged_state_takes_max(self):
+        assert merged_state(MESIState.SHARED, MESIState.MODIFIED) == MESIState.MODIFIED
+        assert merged_state(MESIState.EXCLUSIVE, MESIState.SHARED) == MESIState.EXCLUSIVE
+
+    def test_needs_downgrade(self):
+        assert needs_downgrade(MESIState.MODIFIED)
+        assert needs_downgrade(MESIState.EXCLUSIVE)
+        assert not needs_downgrade(MESIState.SHARED)
+        assert not needs_downgrade(MESIState.INVALID)
+
+    def test_needs_writeback(self):
+        assert needs_writeback(MESIState.MODIFIED, dirty=False)
+        assert needs_writeback(MESIState.SHARED, dirty=True)
+        assert not needs_writeback(MESIState.SHARED, dirty=False)
+
+    def test_state_flags(self):
+        assert MESIState.MODIFIED.writable
+        assert MESIState.EXCLUSIVE.writable
+        assert not MESIState.SHARED.writable
+        assert MESIState.SHARED.valid
+        assert not MESIState.INVALID.valid

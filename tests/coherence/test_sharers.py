@@ -1,0 +1,115 @@
+"""Sharer tracking: full-map and ACKwise limited directory."""
+
+import pytest
+
+from repro.coherence.sharers import (
+    AckwiseSharers,
+    FullMapSharers,
+    make_sharer_tracker,
+)
+
+
+class TestFullMap:
+    def test_add_remove(self):
+        sharers = FullMapSharers()
+        sharers.add(3)
+        sharers.add(5)
+        assert sharers.count == 2
+        assert 3 in sharers
+        sharers.remove(3)
+        assert 3 not in sharers
+        assert sharers.count == 1
+
+    def test_always_precise(self):
+        sharers = FullMapSharers()
+        for core in range(100):
+            sharers.add(core)
+        assert sharers.precise
+
+    def test_clear(self):
+        sharers = FullMapSharers()
+        sharers.add(1)
+        sharers.clear()
+        assert sharers.count == 0
+
+    def test_storage_bits(self):
+        assert FullMapSharers.storage_bits(64) == 64
+
+
+class TestAckwise:
+    def test_precise_below_pointer_limit(self):
+        sharers = AckwiseSharers(4)
+        for core in (1, 2, 3, 4):
+            sharers.add(core)
+        assert sharers.precise
+        assert sharers.pointers() == {1, 2, 3, 4}
+
+    def test_overflow_on_fifth_sharer(self):
+        sharers = AckwiseSharers(4)
+        for core in range(5):
+            sharers.add(core)
+        assert not sharers.precise
+        assert sharers.count == 5  # the count stays exact
+        assert sharers.pointers() == frozenset()
+
+    def test_members_remain_ground_truth(self):
+        sharers = AckwiseSharers(2)
+        for core in (7, 8, 9):
+            sharers.add(core)
+        assert sharers.members() == {7, 8, 9}
+
+    def test_overflow_sticky_until_empty(self):
+        """Hardware cannot reconstruct pointers after overflow."""
+        sharers = AckwiseSharers(2)
+        for core in (0, 1, 2):
+            sharers.add(core)
+        sharers.remove(2)
+        assert not sharers.precise  # still broadcast mode at 2 sharers
+        sharers.remove(1)
+        assert not sharers.precise
+        sharers.remove(0)
+        assert sharers.precise  # empty resets
+
+    def test_duplicate_add_is_idempotent(self):
+        sharers = AckwiseSharers(2)
+        sharers.add(1)
+        sharers.add(1)
+        assert sharers.count == 1
+        assert sharers.precise
+
+    def test_invalidation_targets_precise(self):
+        sharers = AckwiseSharers(4)
+        sharers.add(3)
+        assert set(sharers.invalidation_targets(num_cores=16)) == {3}
+
+    def test_invalidation_targets_broadcast(self):
+        sharers = AckwiseSharers(1)
+        sharers.add(3)
+        sharers.add(4)
+        assert set(sharers.invalidation_targets(num_cores=8)) == set(range(8))
+
+    def test_clear_resets_overflow(self):
+        sharers = AckwiseSharers(1)
+        sharers.add(0)
+        sharers.add(1)
+        sharers.clear()
+        assert sharers.precise
+        assert sharers.count == 0
+
+    def test_storage_bits_matches_paper(self):
+        # ACKwise_4 at 64 cores: 4 pointers x 6 bits = 24 bits/entry.
+        assert AckwiseSharers.storage_bits(64, 4) == 24
+
+    def test_needs_at_least_one_pointer(self):
+        with pytest.raises(ValueError):
+            AckwiseSharers(0)
+
+
+class TestFactory:
+    def test_ackwise_by_default(self):
+        tracker = make_sharer_tracker(16, 4)
+        assert isinstance(tracker, AckwiseSharers)
+
+    def test_fullmap_when_none(self):
+        tracker = make_sharer_tracker(16, None)
+        assert isinstance(tracker, FullMapSharers)

@@ -1,0 +1,67 @@
+"""Region allocation and address helpers."""
+
+import pytest
+
+from repro.common.addr import Region, RegionAllocator
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region(base=100, size=10)
+        assert 100 in region
+        assert 109 in region
+        assert 110 not in region
+        assert 99 not in region
+
+    def test_line_offsets(self):
+        region = Region(base=100, size=10)
+        assert region.line(0) == 100
+        assert region.line(9) == 109
+
+    def test_line_out_of_range(self):
+        region = Region(base=100, size=10)
+        with pytest.raises(IndexError):
+            region.line(10)
+
+    def test_len_and_end(self):
+        region = Region(base=4, size=6)
+        assert len(region) == 6
+        assert region.end == 10
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Region(base=0, size=-1)
+
+
+class TestRegionAllocator:
+    def test_regions_are_disjoint(self):
+        allocator = RegionAllocator(lines_per_page=64)
+        regions = [allocator.allocate(100) for _ in range(10)]
+        for index, first in enumerate(regions):
+            for second in regions[index + 1:]:
+                assert first.end <= second.base or second.end <= first.base
+
+    def test_page_alignment(self):
+        allocator = RegionAllocator(lines_per_page=64)
+        allocator.allocate(10)
+        second = allocator.allocate(10)
+        assert second.base % 64 == 0
+
+    def test_unaligned_allocation_shares_pages(self):
+        """False-sharing workloads need regions that straddle pages."""
+        allocator = RegionAllocator(lines_per_page=64)
+        first = allocator.allocate_unaligned(10)
+        second = allocator.allocate_unaligned(10)
+        assert second.base == first.end
+        assert first.end % 64 != 0  # the boundary is mid-page
+
+    def test_allocate_many(self):
+        allocator = RegionAllocator(lines_per_page=64)
+        regions = allocator.allocate_many(4, 32)
+        assert len(regions) == 4
+        assert all(region.size == 32 for region in regions)
+        assert all(region.base % 64 == 0 for region in regions)
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            RegionAllocator(lines_per_page=0)

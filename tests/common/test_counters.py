@@ -1,0 +1,56 @@
+"""Saturating counter semantics (the paper's 2-bit reuse counters)."""
+
+import pytest
+
+from repro.common.counters import SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_starts_at_initial(self):
+        assert SaturatingCounter(3).value == 0
+        assert SaturatingCounter(3, initial=1).value == 1
+
+    def test_increment(self):
+        counter = SaturatingCounter(3)
+        assert counter.increment() == 1
+        assert counter.increment() == 2
+
+    def test_saturates_at_max(self):
+        counter = SaturatingCounter(3, initial=3)
+        assert counter.increment() == 3
+        assert counter.saturated()
+
+    def test_two_bit_counter_matches_paper(self):
+        """A 2-bit counter saturates at 3, exactly reaching RT=3."""
+        counter = SaturatingCounter((1 << 2) - 1)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+
+    def test_reset(self):
+        counter = SaturatingCounter(3, initial=2)
+        counter.reset()
+        assert counter.value == 0
+        counter.reset(1)
+        assert counter.value == 1
+
+    def test_bulk_increment(self):
+        counter = SaturatingCounter(7)
+        counter.increment(5)
+        assert counter.value == 5
+        counter.increment(5)
+        assert counter.value == 7
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(3, initial=4)
+        counter = SaturatingCounter(3)
+        with pytest.raises(ValueError):
+            counter.increment(-1)
+        with pytest.raises(ValueError):
+            counter.reset(9)
+
+    def test_int_conversion(self):
+        assert int(SaturatingCounter(3, initial=2)) == 2

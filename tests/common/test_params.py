@@ -1,0 +1,142 @@
+"""MachineConfig: Table 1 defaults and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import CacheGeometry, MachineConfig
+
+
+class TestTable1Defaults:
+    """The paper configuration must match Table 1 exactly."""
+
+    def test_core_count(self, paper_config):
+        assert paper_config.num_cores == 64
+        assert paper_config.frequency_ghz == 1.0
+
+    def test_l1i_geometry(self, paper_config):
+        assert paper_config.l1i.capacity_bytes == 16 * 1024
+        assert paper_config.l1i.ways == 4
+
+    def test_l1d_geometry(self, paper_config):
+        assert paper_config.l1d.capacity_bytes == 32 * 1024
+        assert paper_config.l1d.ways == 4
+
+    def test_llc_geometry(self, paper_config):
+        assert paper_config.llc_slice.capacity_bytes == 256 * 1024
+        assert paper_config.llc_slice.ways == 8
+
+    def test_llc_latencies(self, paper_config):
+        assert paper_config.llc_tag_latency == 2
+        assert paper_config.llc_data_latency == 4
+
+    def test_directory_protocol(self, paper_config):
+        assert paper_config.ackwise_pointers == 4
+
+    def test_dram(self, paper_config):
+        assert paper_config.num_mem_controllers == 8
+        assert paper_config.dram_bandwidth_gbps == 5.0
+        assert paper_config.dram_latency_ns == 75.0
+        assert paper_config.dram_latency_cycles == 75
+
+    def test_network(self, paper_config):
+        assert paper_config.hop_latency == 2
+        assert paper_config.flit_width_bits == 64
+        assert paper_config.cache_line_flits == 8
+        assert paper_config.header_flits == 1
+
+    def test_protocol_parameters(self, paper_config):
+        assert paper_config.replication_threshold == 3
+        assert paper_config.classifier_k == 3
+        assert paper_config.cluster_size == 1
+        assert paper_config.reuse_counter_bits == 2
+
+
+class TestDerivedQuantities:
+    def test_mesh_side(self, paper_config, small_config):
+        assert paper_config.mesh_side == 8
+        assert small_config.mesh_side == 4
+
+    def test_dram_service_cycles(self, paper_config):
+        # 64 bytes at 5 GB/s and 1 GHz -> 12.8 cycles, rounded to 13.
+        assert paper_config.dram_service_cycles == 13
+
+    def test_lines_per_page(self, paper_config):
+        assert paper_config.lines_per_page == 64
+
+    def test_page_of(self, paper_config):
+        assert paper_config.page_of(0) == 0
+        assert paper_config.page_of(63) == 0
+        assert paper_config.page_of(64) == 1
+
+    def test_reuse_counter_max(self, paper_config):
+        assert paper_config.reuse_counter_max == 3
+
+
+class TestValidation:
+    def test_non_square_core_count_rejected(self):
+        with pytest.raises(ValueError, match="perfect square"):
+            MachineConfig(num_cores=6)
+
+    def test_cluster_must_divide_cores(self):
+        with pytest.raises(ValueError):
+            MachineConfig(cluster_size=3)
+
+    def test_cluster_must_be_square(self):
+        with pytest.raises(ValueError, match="perfect square"):
+            MachineConfig(cluster_size=8)
+
+    def test_replication_threshold_positive(self):
+        with pytest.raises(ValueError):
+            MachineConfig(replication_threshold=0)
+
+    def test_classifier_k_positive(self):
+        with pytest.raises(ValueError):
+            MachineConfig(classifier_k=0)
+
+    def test_too_many_controllers(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_cores=4, num_mem_controllers=8)
+
+    def test_with_overrides_is_pure(self, paper_config):
+        tuned = paper_config.with_overrides(replication_threshold=5)
+        assert tuned.replication_threshold == 5
+        assert paper_config.replication_threshold == 3
+
+    def test_frozen(self, paper_config):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            paper_config.num_cores = 16
+
+
+class TestCacheGeometry:
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=3, ways=2)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=4, ways=0)
+
+    def test_plain_set_index_uses_low_bits(self):
+        geometry = CacheGeometry(sets=8, ways=2)
+        assert geometry.set_index(0) == 0
+        assert geometry.set_index(7) == 7
+        assert geometry.set_index(8) == 0
+
+    def test_hashed_index_spreads_interleaved_lines(self):
+        """Lines with a fixed residue mod 16 must still cover all sets."""
+        geometry = CacheGeometry(sets=64, ways=8, index_shift=4)
+        sets_used = {geometry.set_index(16 * k + 5) for k in range(256)}
+        assert len(sets_used) == 64
+
+    def test_hashed_index_spreads_contiguous_lines(self):
+        """A contiguous region (R-NUCA private data) must cover all sets."""
+        geometry = CacheGeometry(sets=64, ways=8, index_shift=4)
+        sets_used = {geometry.set_index(base + offset)
+                     for base in (0, 4096) for offset in range(128)}
+        assert len(sets_used) == 64
+
+    def test_small_config_preserves_ratios(self, small_config, paper_config):
+        paper_ratio = paper_config.llc_slice.lines / paper_config.l1d.lines
+        small_ratio = small_config.llc_slice.lines / small_config.l1d.lines
+        assert paper_ratio == small_ratio

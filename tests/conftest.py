@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import MachineConfig
+
+
+@pytest.fixture
+def tiny_config() -> MachineConfig:
+    """4-core machine with hand-traceable cache sizes."""
+    return MachineConfig.tiny()
+
+@pytest.fixture
+def small_config() -> MachineConfig:
+    """16-core machine used for integration tests."""
+    return MachineConfig.small()
+
+
+@pytest.fixture
+def paper_config() -> MachineConfig:
+    """The full Table 1 machine (used only for parameter checks)."""
+    return MachineConfig.paper()

@@ -1,0 +1,192 @@
+"""Complete locality classifier: the Figure 3 state machine, verbatim."""
+
+import pytest
+
+from repro.common.types import ReplicationMode
+from repro.core.classifier import CompleteClassifier
+
+
+@pytest.fixture
+def classifier():
+    return CompleteClassifier(num_cores=8, rt=3, counter_max=3)
+
+
+@pytest.fixture
+def state(classifier):
+    return classifier.new_state()
+
+
+class TestInitialState:
+    def test_all_cores_start_non_replica(self, classifier, state):
+        for core in range(8):
+            assert state.mode(core) == ReplicationMode.NON_REPLICA
+            assert state.home_reuse(core) == 0
+
+
+class TestReadPromotion:
+    def test_promotion_at_rt(self, classifier, state):
+        """Home reuse reaching RT promotes the core (Figure 3)."""
+        assert classifier.on_home_read(state, 0) is False  # reuse 1
+        assert classifier.on_home_read(state, 0) is False  # reuse 2
+        assert classifier.on_home_read(state, 0) is True   # reuse 3 -> promote
+        assert state.mode(0) == ReplicationMode.REPLICA
+
+    def test_promoted_core_keeps_replicating(self, classifier, state):
+        for _ in range(3):
+            classifier.on_home_read(state, 0)
+        assert classifier.on_home_read(state, 0) is True
+
+    def test_cores_are_independent(self, classifier, state):
+        for _ in range(3):
+            classifier.on_home_read(state, 0)
+        assert state.mode(1) == ReplicationMode.NON_REPLICA
+
+    def test_rt1_promotes_immediately(self):
+        classifier = CompleteClassifier(num_cores=4, rt=1, counter_max=3)
+        state = classifier.new_state()
+        assert classifier.on_home_read(state, 0) is True
+
+    def test_counter_saturates(self, classifier, state):
+        """Counters saturate at counter_max; promotion still fires."""
+        for _ in range(20):
+            classifier.on_home_read(state, 0)
+        assert state.home_reuse(0) == 3
+
+
+class TestWriterRule:
+    """Section 2.2.2: the migratory-data enabler."""
+
+    def test_only_sharer_writer_increments(self, classifier, state):
+        classifier.on_home_write(state, 0, was_only_sharer=True)
+        assert state.home_reuse(0) == 1
+        classifier.on_home_write(state, 0, was_only_sharer=True)
+        assert state.home_reuse(0) == 2
+
+    def test_contended_writer_resets_to_one(self, classifier, state):
+        classifier.on_home_write(state, 0, was_only_sharer=True)
+        classifier.on_home_write(state, 0, was_only_sharer=True)
+        classifier.on_home_write(state, 0, was_only_sharer=False)
+        assert state.home_reuse(0) == 1
+
+    def test_migratory_promotion(self, classifier, state):
+        """Repeated solo read+write visits accumulate to promotion."""
+        replicate = False
+        for _ in range(2):
+            classifier.on_home_read(state, 0)
+            replicate = classifier.on_home_write(state, 0, was_only_sharer=True)
+        assert replicate is True  # 4 home events >= RT=3
+        assert state.mode(0) == ReplicationMode.REPLICA
+
+    def test_promoted_writer_replicates(self, classifier, state):
+        for _ in range(3):
+            classifier.on_home_read(state, 0)
+        assert classifier.on_home_write(state, 0, was_only_sharer=False) is True
+
+    def test_write_resets_other_nonreplica_sharers(self, classifier, state):
+        classifier.on_home_read(state, 1)
+        classifier.on_home_read(state, 1)
+        classifier.on_write_reset_others(state, writer=0, sharers={0, 1})
+        assert state.home_reuse(1) == 0
+
+    def test_write_does_not_reset_writer(self, classifier, state):
+        classifier.on_home_read(state, 0)
+        classifier.on_write_reset_others(state, writer=0, sharers={0, 1})
+        assert state.home_reuse(0) == 1
+
+    def test_write_does_not_reset_non_sharers(self, classifier, state):
+        """Only *sharers* are reset (the paper's literal rule); a core
+        whose copies were already evicted keeps its counter."""
+        classifier.on_home_read(state, 2)
+        classifier.on_home_read(state, 2)
+        classifier.on_write_reset_others(state, writer=0, sharers={0, 1})
+        assert state.home_reuse(2) == 2
+
+    def test_write_does_not_reset_replica_sharers(self, classifier, state):
+        for _ in range(3):
+            classifier.on_home_read(state, 1)
+        classifier.on_write_reset_others(state, writer=0, sharers={0, 1})
+        assert state.mode(1) == ReplicationMode.REPLICA
+
+
+class TestInvalidation:
+    """Demotion test on invalidation: replica + home reuse vs RT."""
+
+    def _promote(self, classifier, state, core):
+        for _ in range(3):
+            classifier.on_home_read(state, core)
+
+    def test_high_combined_reuse_keeps_status(self, classifier, state):
+        self._promote(classifier, state, 0)
+        classifier.on_invalidation(state, 0, replica_reuse=3)
+        assert state.mode(0) == ReplicationMode.REPLICA
+
+    def test_promotion_residue_counts_as_reuse(self, classifier, state):
+        """Right after promotion the home counter still holds RT, so the
+        first invalidation keeps replica status (total reuse between
+        writes = home + replica >= RT)."""
+        self._promote(classifier, state, 0)
+        classifier.on_invalidation(state, 0, replica_reuse=1)  # 1 + 3 >= 3
+        assert state.mode(0) == ReplicationMode.REPLICA
+
+    def test_low_combined_reuse_demotes(self, classifier, state):
+        """After the counter was zeroed by a previous invalidation, a
+        low-reuse replica demotes the core (Figure 3: XReuse < RT)."""
+        self._promote(classifier, state, 0)
+        classifier.on_invalidation(state, 0, replica_reuse=3)  # zeroes counter
+        classifier.on_invalidation(state, 0, replica_reuse=1)  # 1 + 0 < 3
+        assert state.mode(0) == ReplicationMode.NON_REPLICA
+
+    def test_home_reuse_counts_toward_keep(self, classifier, state):
+        """XReuse on invalidation is replica + home reuse (Section 2.2.3)."""
+        self._promote(classifier, state, 0)
+        classifier.on_invalidation(state, 0, replica_reuse=3)  # zero counter
+        state.counters[0] = 2
+        classifier.on_invalidation(state, 0, replica_reuse=1)  # 1 + 2 >= 3
+        assert state.mode(0) == ReplicationMode.REPLICA
+
+    def test_counter_resets_after_invalidation(self, classifier, state):
+        self._promote(classifier, state, 0)
+        classifier.on_invalidation(state, 0, replica_reuse=3)
+        assert state.home_reuse(0) == 0
+
+
+class TestReplicaEviction:
+    """Demotion test on eviction: replica reuse alone vs RT."""
+
+    def _promote(self, classifier, state, core):
+        for _ in range(3):
+            classifier.on_home_read(state, core)
+
+    def test_high_replica_reuse_keeps_status(self, classifier, state):
+        self._promote(classifier, state, 0)
+        classifier.on_replica_eviction(state, 0, replica_reuse=3)
+        assert state.mode(0) == ReplicationMode.REPLICA
+
+    def test_low_replica_reuse_demotes(self, classifier, state):
+        self._promote(classifier, state, 0)
+        classifier.on_replica_eviction(state, 0, replica_reuse=2)
+        assert state.mode(0) == ReplicationMode.NON_REPLICA
+
+    def test_home_reuse_ignored_on_eviction(self, classifier, state):
+        """Only the replica counter decides on eviction (Section 2.2.3)."""
+        self._promote(classifier, state, 0)
+        state.counters[0] = 3
+        classifier.on_replica_eviction(state, 0, replica_reuse=1)
+        assert state.mode(0) == ReplicationMode.NON_REPLICA
+
+    def test_counter_resets_after_eviction(self, classifier, state):
+        self._promote(classifier, state, 0)
+        state.counters[0] = 3
+        classifier.on_replica_eviction(state, 0, replica_reuse=3)
+        assert state.home_reuse(0) == 0
+
+
+class TestCounterWidth:
+    def test_counter_max_raised_to_rt(self):
+        """RT-8 needs counters that can reach 8 (2 bits saturate at 3)."""
+        classifier = CompleteClassifier(num_cores=4, rt=8, counter_max=3)
+        assert classifier.counter_max == 8
+        state = classifier.new_state()
+        for _ in range(7):
+            assert classifier.on_home_read(state, 0) is False
+        assert classifier.on_home_read(state, 0) is True

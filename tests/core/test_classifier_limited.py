@@ -1,0 +1,174 @@
+"""Limited_k classifier: slot management, majority vote, inactive sharers."""
+
+import pytest
+
+from repro.common.types import ReplicationMode
+from repro.core.classifier import (
+    CompleteClassifier,
+    LimitedClassifier,
+    make_classifier,
+)
+
+
+@pytest.fixture
+def classifier():
+    return LimitedClassifier(num_cores=16, rt=3, counter_max=3, k=3)
+
+
+@pytest.fixture
+def state(classifier):
+    return classifier.new_state()
+
+
+def _promote(classifier, state, core):
+    for _ in range(classifier.rt):
+        classifier.on_home_read(state, core)
+
+
+class TestSlotAllocation:
+    def test_tracks_up_to_k_cores(self, classifier, state):
+        for core in (0, 1, 2):
+            classifier.on_home_read(state, core)
+        assert {slot.core for slot in state.slots} == {0, 1, 2}
+
+    def test_fourth_core_untracked_when_all_active(self, classifier, state):
+        for core in (0, 1, 2):
+            classifier.on_home_read(state, core)
+        classifier.on_home_read(state, 3)
+        assert {slot.core for slot in state.slots} == {0, 1, 2}
+
+    def test_tracked_core_counts_normally(self, classifier, state):
+        _promote(classifier, state, 0)
+        assert state.mode(0) == ReplicationMode.REPLICA
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LimitedClassifier(num_cores=16, rt=3, counter_max=3, k=0)
+
+
+class TestMajorityVote:
+    def test_untracked_core_follows_majority_replica(self, classifier, state):
+        for core in (0, 1):
+            _promote(classifier, state, core)
+        classifier.on_home_read(state, 2)  # tracked, non-replica
+        # Core 9 is untracked: 2 replicas vs 1 non-replica -> replicate.
+        assert classifier.on_home_read(state, 9) is True
+
+    def test_untracked_core_follows_majority_non_replica(self, classifier, state):
+        _promote(classifier, state, 0)
+        classifier.on_home_read(state, 1)
+        classifier.on_home_read(state, 2)
+        # 1 replica vs 2 non-replica -> do not replicate.
+        assert classifier.on_home_read(state, 9) is False
+
+    def test_tie_votes_non_replica(self, classifier, state):
+        """Conservative tie-breaking: ties start cores as non-replica."""
+        _promote(classifier, state, 0)
+        classifier.on_home_read(state, 1)
+        # 1 replica vs 1 non-replica among the tracked -> non-replica.
+        assert state.majority_mode() == ReplicationMode.NON_REPLICA
+
+    def test_empty_list_votes_non_replica(self, classifier, state):
+        assert state.majority_mode() == ReplicationMode.NON_REPLICA
+
+    def test_untracked_counters_never_accumulate(self, classifier, state):
+        """An untracked core cannot be promoted by counting — the
+        STREAMCLUSTER pathology of Section 4.3."""
+        for core in (0, 1, 2):
+            classifier.on_home_read(state, core)
+        for _ in range(10):
+            classifier.on_home_read(state, 9)
+        assert state.home_reuse(9) == 0
+        assert state.mode(9) == ReplicationMode.NON_REPLICA
+
+
+class TestInactiveReplacement:
+    def test_replica_core_inactive_after_invalidation(self, classifier, state):
+        for core in (0, 1, 2):
+            _promote(classifier, state, core)
+        classifier.on_invalidation(state, 0, replica_reuse=3)
+        slot = state.find(0)
+        assert not slot.active
+
+    def test_replica_core_inactive_after_eviction(self, classifier, state):
+        for core in (0, 1, 2):
+            _promote(classifier, state, core)
+        classifier.on_replica_eviction(state, 1, replica_reuse=3)
+        assert not state.find(1).active
+
+    def test_nonreplica_core_inactive_after_foreign_write(self, classifier, state):
+        for core in (0, 1, 2):
+            classifier.on_home_read(state, core)
+        classifier.mark_inactive_nonreplicas(state, writer=0)
+        assert state.find(0).active          # the writer stays active
+        assert not state.find(1).active
+        assert not state.find(2).active
+
+    def test_inactive_slot_reallocated(self, classifier, state):
+        for core in (0, 1, 2):
+            _promote(classifier, state, core)
+        classifier.on_invalidation(state, 0, replica_reuse=0)  # demote + inactive
+        classifier.on_home_read(state, 9)
+        assert 9 in {slot.core for slot in state.slots}
+        assert 0 not in {slot.core for slot in state.slots}
+
+    def test_replacement_seeds_majority_mode(self, classifier, state):
+        """A newly tracked core starts in the majority mode (Section 2.2.5:
+        'start off the requester in its most probable mode')."""
+        for core in (0, 1, 2):
+            _promote(classifier, state, core)
+        classifier.on_invalidation(state, 0, replica_reuse=3)  # stays replica, inactive
+        classifier.on_home_read(state, 9)
+        slot = state.find(9)
+        assert slot.mode == ReplicationMode.REPLICA
+
+    def test_active_slots_not_replaced(self, classifier, state):
+        for core in (0, 1, 2):
+            classifier.on_home_read(state, core)
+        classifier.on_home_read(state, 9)
+        assert state.find(9) is None
+
+
+class TestLimited1Instability:
+    """Section 4.3: Limited_1 flips whole-line behaviour on one sharer."""
+
+    def test_first_replica_makes_everyone_replicate(self):
+        classifier = LimitedClassifier(num_cores=16, rt=3, counter_max=3, k=1)
+        state = classifier.new_state()
+        _promote(classifier, state, 0)
+        # Any other core immediately inherits replica mode by majority vote.
+        assert classifier.on_home_read(state, 5) is True
+
+
+class TestFactory:
+    def test_limited_when_k_small(self):
+        classifier = make_classifier(num_cores=16, rt=3, counter_max=3, k=3)
+        assert isinstance(classifier, LimitedClassifier)
+
+    def test_complete_when_k_none(self):
+        classifier = make_classifier(num_cores=16, rt=3, counter_max=3, k=None)
+        assert isinstance(classifier, CompleteClassifier)
+
+    def test_complete_when_k_covers_all_cores(self):
+        """Figure 9's k=64 point is the Complete classifier."""
+        classifier = make_classifier(num_cores=16, rt=3, counter_max=3, k=16)
+        assert isinstance(classifier, CompleteClassifier)
+
+
+class TestWriterRuleLimited:
+    def test_only_sharer_writer_increments(self, classifier, state):
+        classifier.on_home_write(state, 0, was_only_sharer=True)
+        classifier.on_home_write(state, 0, was_only_sharer=True)
+        assert state.home_reuse(0) == 2
+
+    def test_contended_writer_resets(self, classifier, state):
+        classifier.on_home_write(state, 0, was_only_sharer=True)
+        classifier.on_home_write(state, 0, was_only_sharer=False)
+        assert state.home_reuse(0) == 1
+
+    def test_reset_others_only_touches_sharers(self, classifier, state):
+        classifier.on_home_read(state, 1)
+        classifier.on_home_read(state, 2)
+        classifier.on_write_reset_others(state, writer=0, sharers={1})
+        assert state.home_reuse(1) == 0
+        assert state.home_reuse(2) == 1

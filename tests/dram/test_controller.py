@@ -1,0 +1,85 @@
+"""DRAM controllers: latency, bandwidth queueing, placement."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.dram.controller import DramSystem, MemoryController, controller_tiles
+
+
+class TestMemoryController:
+    def test_unloaded_latency(self):
+        controller = MemoryController(0, latency_cycles=75, service_cycles=13)
+        wait, latency = controller.access(now=0.0)
+        assert wait == 0.0
+        assert latency == 75.0
+
+    def test_queueing_under_load(self):
+        controller = MemoryController(0, latency_cycles=75, service_cycles=13)
+        for _ in range(60):
+            controller.access(now=100.0)
+        wait, latency = controller.access(now=101.0)
+        assert wait > 0.0
+        assert latency > 75.0
+
+    def test_queue_drains_in_later_epoch(self):
+        controller = MemoryController(0, latency_cycles=75, service_cycles=13)
+        for _ in range(60):
+            controller.access(now=100.0)
+        later = MemoryController.CONTENTION_EPOCH * 3 + 1.0
+        wait, _latency = controller.access(now=later)
+        assert wait == 0.0
+
+    def test_out_of_order_access_is_stable(self):
+        """A far-future access must not block frontier traffic (the
+        busy-until pathology the windowed model replaces)."""
+        controller = MemoryController(0, latency_cycles=75, service_cycles=13)
+        controller.access(now=1_000_000.0)
+        wait, _ = controller.access(now=5.0)
+        assert wait < controller.service
+
+
+class TestControllerPlacement:
+    def test_count(self, small_config):
+        assert len(controller_tiles(16, 4)) == 4
+
+    def test_tiles_unique(self):
+        tiles = controller_tiles(64, 8)
+        assert len(set(tiles)) == 8
+
+    def test_not_all_in_one_column(self):
+        """Controllers must spread over mesh columns (hot-spot avoidance)."""
+        for num_cores, num_controllers in ((16, 4), (64, 8)):
+            side = int(num_cores ** 0.5)
+            columns = {tile % side for tile in controller_tiles(num_cores, num_controllers)}
+            assert len(columns) > 1
+
+
+class TestDramSystem:
+    def test_interleaving_covers_all_controllers(self, small_config):
+        dram = DramSystem(small_config)
+        used = {dram.controller_for(line).core_id for line in range(4096)}
+        assert len(used) == small_config.num_mem_controllers
+
+    def test_contiguous_region_spreads(self, small_config):
+        """A streaming region must not hammer one controller."""
+        dram = DramSystem(small_config)
+        counts = {}
+        for line in range(1024):
+            core = dram.controller_for(line).core_id
+            counts[core] = counts.get(core, 0) + 1
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_read_write_counters(self, small_config):
+        dram = DramSystem(small_config)
+        dram.read(0, now=0.0)
+        dram.read(1, now=0.0)
+        dram.write(2, now=0.0)
+        assert dram.reads == 2
+        assert dram.writes == 1
+        assert dram.total_accesses() == 3
+
+    def test_read_returns_controller(self, small_config):
+        dram = DramSystem(small_config)
+        controller, wait, latency = dram.read(7, now=0.0)
+        assert controller in dram.controllers
+        assert latency >= small_config.dram_latency_cycles

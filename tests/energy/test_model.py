@@ -1,0 +1,77 @@
+"""Energy model: per-event accounting and the paper's stated relations."""
+
+import pytest
+
+from repro.energy import model as events
+from repro.energy.model import COMPONENTS, EnergyModel, EnergyParams
+
+
+class TestRelations:
+    def test_llc_write_is_1_2x_read(self):
+        """Section 4.1: 'a write expends 1.2x more energy than a read'."""
+        params = EnergyParams()
+        assert params.llc_data_write_pj == pytest.approx(1.2 * params.llc_data_read_pj)
+
+    def test_dram_dominates_llc(self):
+        params = EnergyParams()
+        assert params.dram_access_pj > 10 * params.llc_data_read_pj
+
+    def test_directory_scale(self):
+        scaled = EnergyParams().scaled_directory(1.2)
+        assert scaled.directory_scale == 1.2
+        assert EnergyParams().directory_scale == 1.0
+
+
+class TestBreakdown:
+    def test_components_match_figure6(self):
+        assert COMPONENTS == (
+            "L1-I Cache", "L1-D Cache", "L2 Cache (LLC)", "Directory",
+            "Network Router", "Network Link", "DRAM",
+        )
+
+    def test_empty_counts_zero_energy(self):
+        model = EnergyModel()
+        breakdown = model.breakdown({})
+        assert all(value == 0.0 for value in breakdown.values())
+        assert model.total({}) == 0.0
+
+    def test_single_component_attribution(self):
+        model = EnergyModel()
+        breakdown = model.breakdown({events.DRAM_READ: 10})
+        assert breakdown["DRAM"] == pytest.approx(10 * model.params.dram_access_pj)
+        assert sum(v for k, v in breakdown.items() if k != "DRAM") == 0.0
+
+    def test_llc_component_sums_tag_and_data(self):
+        model = EnergyModel()
+        counts = {
+            events.LLC_TAG_READ: 2,
+            events.LLC_DATA_READ: 3,
+            events.LLC_DATA_WRITE: 1,
+        }
+        expected = (
+            2 * model.params.llc_tag_read_pj
+            + 3 * model.params.llc_data_read_pj
+            + 1 * model.params.llc_data_write_pj
+        )
+        assert model.breakdown(counts)["L2 Cache (LLC)"] == pytest.approx(expected)
+
+    def test_directory_scaling_applies(self):
+        counts = {events.DIR_READ: 10, events.DIR_WRITE: 10}
+        plain = EnergyModel().breakdown(counts)["Directory"]
+        scaled = EnergyModel(EnergyParams().scaled_directory(1.2)).breakdown(counts)["Directory"]
+        assert scaled == pytest.approx(1.2 * plain)
+
+    def test_network_split(self):
+        model = EnergyModel()
+        counts = {events.ROUTER_FLIT: 5, events.LINK_FLIT: 7}
+        breakdown = model.breakdown(counts)
+        assert breakdown["Network Router"] == pytest.approx(5 * model.params.router_flit_pj)
+        assert breakdown["Network Link"] == pytest.approx(7 * model.params.link_flit_pj)
+
+    def test_total_is_sum_of_components(self):
+        model = EnergyModel()
+        counts = {
+            events.L1D_READ: 100, events.L1I_READ: 50, events.DRAM_WRITE: 3,
+            events.LLC_TAG_READ: 40, events.DIR_WRITE: 12, events.LINK_FLIT: 9,
+        }
+        assert model.total(counts) == pytest.approx(sum(model.breakdown(counts).values()))

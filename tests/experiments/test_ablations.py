@@ -1,0 +1,66 @@
+"""Design-alternative ablation harnesses."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.experiments.ablations import (
+    render_classifier_organization_ablation,
+    render_replica_strategy_ablation,
+    render_tla_ablation,
+    run_classifier_organization_ablation,
+    run_replica_strategy_ablation,
+    run_tla_ablation,
+)
+from repro.experiments.runner import ExperimentSetup
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(MachineConfig.small(), scale=0.15, seed=2)
+
+
+class TestTlaAblation:
+    def test_variants_present(self, setup):
+        results = run_tla_ablation(setup, benchmarks=["DEDUP"])
+        assert set(results["DEDUP"]) == {"modified_lru", "lru", "tla"}
+
+    def test_tla_sends_hints(self, setup):
+        # DEDUP is private-heavy, so its L1 hit stream feeds the hints.
+        results = run_tla_ablation(setup, benchmarks=["DEDUP"])
+        assert results["DEDUP"]["tla"].stats.counters.get("tla_hints_sent", 0) > 0
+        assert results["DEDUP"]["lru"].stats.counters.get("tla_hints_sent", 0) == 0
+
+    def test_render(self, setup):
+        results = run_tla_ablation(setup, benchmarks=["DEDUP"])
+        text = render_tla_ablation(results)
+        assert "TLA" in text
+
+
+class TestReplicaStrategyAblation:
+    def test_shared_only_creates_fewer_em_replicas(self, setup):
+        results = run_replica_strategy_ablation(setup, benchmarks=["LU-NC"])
+        row = results["LU-NC"]
+        assert (
+            row["shared_only"].stats.counters.get("replicas_created", 0)
+            <= row["all_states"].stats.counters.get("replicas_created", 0)
+        )
+
+    def test_render(self, setup):
+        results = run_replica_strategy_ablation(setup, benchmarks=["LU-NC"])
+        text = render_replica_strategy_ablation(results)
+        assert "Shared-only" in text
+
+
+class TestOrganizationAblation:
+    def test_capacities_reported(self, setup):
+        results = run_classifier_organization_ablation(
+            setup, benchmarks=["DEDUP"], sparse_entries=(64, 1024)
+        )
+        assert set(results["DEDUP"]) == {"incache", "sparse-64", "sparse-1024"}
+
+    def test_render(self, setup):
+        results = run_classifier_organization_ablation(
+            setup, benchmarks=["DEDUP"], sparse_entries=(64,)
+        )
+        text = render_classifier_organization_ablation(results)
+        assert "sparse" in text

@@ -1,0 +1,69 @@
+"""Command-line interface smoke tests (fast commands only)."""
+
+import pytest
+
+from repro.experiments.__main__ import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_commands_listed(self):
+        for command in ("fig1", "fig6", "summary", "storage", "all",
+                        "tla", "strategy", "organization", "breakdown"):
+            assert command in COMMANDS
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.machine == "small"
+        assert args.scale == 1.0
+        assert args.seed == 1
+        assert args.benchmarks is None
+
+    def test_machine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--machine", "huge"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestFastCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        captured = capsys.readouterr()
+        assert "Architectural Parameter" in captured.out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        captured = capsys.readouterr()
+        assert "BARNES" in captured.out
+
+    def test_storage(self, capsys):
+        assert main(["storage"]) == 0
+        captured = capsys.readouterr()
+        assert "13.5 KB" in captured.out
+
+    def test_paper_machine_table1(self, capsys):
+        assert main(["table1", "--machine", "paper"]) == 0
+        captured = capsys.readouterr()
+        assert "64 @ 1 GHz" in captured.out
+
+
+class TestSimulationCommands:
+    """One small end-to-end CLI run (kept tiny for speed)."""
+
+    def test_fig6_restricted(self, capsys):
+        assert main([
+            "fig6", "--scale", "0.05", "--benchmarks", "DEDUP",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 6" in captured.out
+        assert "DEDUP" in captured.out
+
+    def test_breakdown(self, capsys):
+        assert main([
+            "breakdown", "--scale", "0.05", "--benchmarks", "DEDUP",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "energy components" in captured.out
+        assert "legend:" in captured.out

@@ -1,0 +1,57 @@
+"""Unit-level checks on the comparison assembly functions (no simulation)."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    average_row,
+    fig6_energy,
+    fig7_completion,
+)
+from repro.experiments.runner import RunResult
+from repro.sim.stats import SimStats
+
+
+def _result(scheme, benchmark, energy, time):
+    stats = SimStats(num_cores=4)
+    stats.completion_time = time
+    return RunResult(
+        scheme, benchmark, stats,
+        energy_breakdown={"DRAM": energy},
+    )
+
+
+@pytest.fixture
+def matrix():
+    return {
+        "A": {
+            "S-NUCA": _result("S-NUCA", "A", energy=100.0, time=1000.0),
+            "RT-3": _result("RT-3", "A", energy=80.0, time=900.0),
+        },
+        "B": {
+            "S-NUCA": _result("S-NUCA", "B", energy=200.0, time=2000.0),
+            "RT-3": _result("RT-3", "B", energy=100.0, time=1000.0),
+        },
+    }
+
+
+class TestAssembly:
+    def test_fig6_normalization(self, matrix):
+        table = fig6_energy(matrix)
+        assert table["A"]["RT-3"] == pytest.approx(0.8)
+        assert table["B"]["RT-3"] == pytest.approx(0.5)
+
+    def test_fig7_normalization(self, matrix):
+        table = fig7_completion(matrix)
+        assert table["A"]["RT-3"] == pytest.approx(0.9)
+        assert table["B"]["RT-3"] == pytest.approx(0.5)
+
+    def test_average_is_arithmetic(self, matrix):
+        """The paper plots Average, not Geometric-Mean (Figure 6 caption)."""
+        table = fig6_energy(matrix)
+        avg = average_row(table)
+        assert avg["RT-3"] == pytest.approx((0.8 + 0.5) / 2)
+
+    def test_run_result_totals(self):
+        result = _result("X", "Y", energy=123.0, time=7.0)
+        assert result.total_energy == 123.0
+        assert result.completion_time == 7.0

@@ -1,0 +1,162 @@
+"""Figure/table modules: smoke runs at small scale plus shape checks."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.experiments import ablations, comparison, fig1_runlength, fig9_limitedk
+from repro.experiments import fig10_cluster, rt_sweep, summary, tables
+from repro.experiments.runner import ExperimentSetup
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(MachineConfig.small(), scale=0.08, seed=2)
+
+
+@pytest.fixture(scope="module")
+def small_matrix(setup):
+    return comparison.run_comparison(
+        setup, benchmarks=["BARNES", "DEDUP"], schemes=("S-NUCA", "R-NUCA", "RT-3")
+    )
+
+
+class TestComparison:
+    def test_fig6_normalized_to_snuca(self, small_matrix):
+        table = comparison.fig6_energy(small_matrix)
+        for row in table.values():
+            assert row["S-NUCA"] == pytest.approx(1.0)
+
+    def test_fig7_normalized_to_snuca(self, small_matrix):
+        table = comparison.fig7_completion(small_matrix)
+        for row in table.values():
+            assert row["S-NUCA"] == pytest.approx(1.0)
+
+    def test_fig8_fractions(self, small_matrix):
+        table = comparison.fig8_miss_breakdown(small_matrix)
+        for row in table.values():
+            for fractions in row.values():
+                assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_average_row(self, small_matrix):
+        table = comparison.fig6_energy(small_matrix)
+        avg = comparison.average_row(table)
+        assert avg["S-NUCA"] == pytest.approx(1.0)
+
+    def test_component_breakdown_sums_to_normalized_total(self, small_matrix):
+        table = comparison.fig6_energy(small_matrix)
+        components = comparison.fig6_component_breakdown(small_matrix, "BARNES")
+        for scheme, breakdown in components.items():
+            assert sum(breakdown.values()) == pytest.approx(
+                table["BARNES"][scheme], rel=1e-6
+            )
+
+    def test_render_tables(self, small_matrix):
+        text = comparison.render_normalized_table(
+            comparison.fig6_energy(small_matrix), "Figure 6"
+        )
+        assert "AVERAGE" in text
+        text = comparison.render_miss_table(
+            comparison.fig8_miss_breakdown(small_matrix), "Figure 8"
+        )
+        assert "LLC-Replica-Hits" in text
+
+
+class TestFig1:
+    def test_profiles_and_rendering(self, setup):
+        profiles = fig1_runlength.run_fig1(setup, benchmarks=["BARNES"])
+        text = fig1_runlength.render_fig1(profiles)
+        assert "BARNES" in text
+        assert "[1-2]" in text
+
+
+class TestFig9:
+    def test_normalization_to_complete(self, setup):
+        results = fig9_limitedk.run_fig9(
+            setup, benchmarks=["DEDUP"], k_values=(1, 3, None)
+        )
+        energy, time = fig9_limitedk.normalized_tables(results, setup.config.num_cores)
+        complete_label = f"k={setup.config.num_cores}"
+        assert energy["DEDUP"][complete_label] == pytest.approx(1.0)
+        assert time["DEDUP"][complete_label] == pytest.approx(1.0)
+
+    def test_render(self, setup):
+        results = fig9_limitedk.run_fig9(setup, benchmarks=["DEDUP"], k_values=(3, None))
+        energy, time = fig9_limitedk.normalized_tables(results, setup.config.num_cores)
+        text = fig9_limitedk.render_fig9(energy, time)
+        assert "GEOMEAN" in text
+
+
+class TestFig10:
+    def test_cluster_sizes_for_machine(self):
+        assert fig10_cluster.cluster_sizes(64) == (1, 4, 16, 64)
+        assert fig10_cluster.cluster_sizes(16) == (1, 4, 16)
+
+    def test_normalization_to_c1(self, setup):
+        results = fig10_cluster.run_fig10(setup, benchmarks=["DEDUP"], sizes=(1, 4))
+        energy, time = fig10_cluster.normalized_tables(results)
+        assert energy["DEDUP"]["C-1"] == pytest.approx(1.0)
+
+    def test_render(self, setup):
+        results = fig10_cluster.run_fig10(setup, benchmarks=["DEDUP"], sizes=(1, 4))
+        energy, time = fig10_cluster.normalized_tables(results)
+        text = fig10_cluster.render_fig10(energy, time)
+        assert "C-4" in text
+
+
+class TestRtSweep:
+    def test_sweep_and_best(self, setup):
+        results = rt_sweep.run_rt_sweep(
+            setup, benchmarks=["BARNES"], rt_values=(1, 3)
+        )
+        assert set(results["BARNES"]) == {1, 3}
+        best = rt_sweep.best_rt_by_edp(results)
+        assert best in (1, 3)
+        text = rt_sweep.render_rt_sweep(results)
+        assert "Best RT" in text
+
+
+class TestAblations:
+    def test_replacement_ablation(self, setup):
+        results = ablations.run_replacement_ablation(setup, benchmarks=["DEDUP"])
+        assert set(results["DEDUP"]) == {"modified_lru", "lru"}
+        text = ablations.render_replacement_ablation(results)
+        assert "modified-LRU" in text or "mod-LRU" in text
+
+    def test_oracle_ablation_small_difference(self, setup):
+        """Section 2.3.2: the oracle saves < a few percent."""
+        results = ablations.run_oracle_ablation(setup, benchmarks=["DEDUP"])
+        probe = results["DEDUP"]["probe"]
+        oracle = results["DEDUP"]["oracle"]
+        ratio = probe.completion_time / oracle.completion_time
+        assert 0.95 <= ratio <= 1.10
+
+
+class TestSummary:
+    def test_headline_reductions(self, setup):
+        results = comparison.run_comparison(
+            setup, benchmarks=["BARNES", "DEDUP"],
+            schemes=("S-NUCA", "R-NUCA", "VR", "ASR", "RT-3"),
+        )
+        energy_red, time_red = summary.headline_reductions(results)
+        assert set(energy_red) == {"VR", "ASR", "R-NUCA", "S-NUCA"}
+        text = summary.render_summary(energy_red, time_red)
+        assert "S-NUCA" in text
+
+    def test_paper_reference_values(self):
+        assert summary.PAPER_ENERGY_REDUCTION["S-NUCA"] == 0.21
+        assert summary.PAPER_TIME_REDUCTION["VR"] == 0.04
+
+
+class TestTables:
+    def test_table1_renders_paper_values(self):
+        text = tables.render_table1(MachineConfig.paper())
+        assert "64 @ 1 GHz" in text
+        assert "256 KB" in text
+        assert "ACKwise_4" in text
+        assert "RT = 3" in text
+
+    def test_table2_lists_all_benchmarks(self):
+        text = tables.render_table2()
+        for name in ("RADIX", "BARNES", "CONCOMP", "PATRICIA"):
+            assert name in text
+        assert "64K particles" in text

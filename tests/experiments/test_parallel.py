@@ -1,0 +1,65 @@
+"""Parallel experiment runner: equivalence with the sequential path."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.experiments.parallel import RunSpec, run_matrix_parallel, run_specs
+from repro.experiments.runner import ExperimentSetup, run_matrix
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(MachineConfig.small(), scale=0.08, seed=3)
+
+
+class TestRunSpecs:
+    def test_single_spec_runs_inline(self, setup):
+        spec = RunSpec("S-NUCA", "DEDUP", setup.config, setup.scale, setup.seed)
+        (result,) = run_specs([spec])
+        assert result.scheme == "S-NUCA"
+        assert result.completion_time > 0
+
+    def test_order_preserved(self, setup):
+        specs = [
+            RunSpec("S-NUCA", "DEDUP", setup.config, setup.scale, setup.seed),
+            RunSpec("RT-3", "DEDUP", setup.config, setup.scale, setup.seed),
+        ]
+        results = run_specs(specs, max_workers=1)
+        assert [r.scheme for r in results] == ["S-NUCA", "RT-3"]
+
+    def test_scheme_kwargs_applied(self, setup):
+        spec = RunSpec(
+            "ASR", "PATRICIA", setup.config, setup.scale, setup.seed,
+            scheme_kwargs=(("replication_level", 0.75),),
+        )
+        (result,) = run_specs([spec])
+        assert result.asr_level == 0.75
+
+
+class TestMatrixEquivalence:
+    def test_parallel_matches_sequential(self, setup):
+        schemes = ("S-NUCA", "RT-3")
+        benchmarks = ("DEDUP", "BARNES")
+        sequential = run_matrix(setup, schemes, benchmarks)
+        parallel = run_matrix_parallel(setup, schemes, benchmarks, max_workers=1)
+        for benchmark in benchmarks:
+            for scheme in schemes:
+                seq = sequential[benchmark][scheme]
+                par = parallel[benchmark][scheme]
+                assert seq.completion_time == par.completion_time
+                assert seq.total_energy == pytest.approx(par.total_energy)
+
+    def test_asr_level_search_in_parallel(self, setup):
+        matrix = run_matrix_parallel(
+            setup, ("ASR",), ("PATRICIA",), max_workers=1
+        )
+        result = matrix["PATRICIA"]["ASR"]
+        assert result.asr_level in (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_process_pool_path(self, setup):
+        """Exercise the real multiprocess path on a tiny matrix."""
+        matrix = run_matrix_parallel(
+            setup, ("S-NUCA", "RT-3"), ("DEDUP",), max_workers=2
+        )
+        assert matrix["DEDUP"]["S-NUCA"].completion_time > 0
+        assert matrix["DEDUP"]["RT-3"].completion_time > 0

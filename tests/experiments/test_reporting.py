@@ -1,0 +1,69 @@
+"""Reporting helpers: tables, normalization, means."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    arithmetic_mean,
+    format_table,
+    geomean,
+    normalize_to,
+    stacked_fractions,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["Name", "Value"], [["alpha", 1.5], ["b", 22.25]], title="Demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "Name" in lines[2]
+        assert "1.500" in text
+        assert "22.250" in text
+
+    def test_column_width_accommodates_cells(self):
+        text = format_table(["X"], [["very-long-cell-content"]])
+        assert "very-long-cell-content" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["V"], [[0.123456]], float_format="{:.1f}")
+        assert "0.1" in text
+
+
+class TestNormalization:
+    def test_normalize_to_baseline(self):
+        normalized = normalize_to({"a": 2.0, "b": 4.0}, "a")
+        assert normalized == {"a": 1.0, "b": 2.0}
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            normalize_to({"a": 0.0, "b": 1.0}, "a")
+
+    def test_stacked_fractions(self):
+        fractions = stacked_fractions({"x": 1.0, "y": 3.0})
+        assert fractions["x"] == pytest.approx(0.25)
+        assert fractions["y"] == pytest.approx(0.75)
+
+    def test_stacked_fractions_empty(self):
+        assert stacked_fractions({"x": 0.0}) == {"x": 0.0}
+
+
+class TestMeans:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_arithmetic_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])

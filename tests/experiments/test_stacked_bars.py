@@ -1,0 +1,58 @@
+"""Stacked-bar text rendering."""
+
+import pytest
+
+from repro.experiments.reporting import render_stacked_bars
+
+
+class TestStackedBars:
+    def test_basic_rendering(self):
+        text = render_stacked_bars(
+            {
+                "S-NUCA": {"LLC": 0.6, "DRAM": 0.4},
+                "RT-3": {"LLC": 0.3, "DRAM": 0.4},
+            },
+            width=20,
+            title="Demo",
+        )
+        assert "Demo" in text
+        assert "S-NUCA" in text
+        assert "legend:" in text
+        assert "LLC" in text and "DRAM" in text
+
+    def test_bar_lengths_proportional(self):
+        text = render_stacked_bars(
+            {"full": {"x": 1.0}, "half": {"x": 0.5}}, width=40
+        )
+        lines = [line for line in text.splitlines() if "|" in line]
+        full_bar = lines[0].split("|")[1]
+        half_bar = lines[1].split("|")[1]
+        assert full_bar.count("█") == 40
+        assert half_bar.count("█") == 20
+
+    def test_totals_annotated(self):
+        text = render_stacked_bars({"a": {"x": 2.0}, "b": {"x": 1.0}}, width=10)
+        assert "1.000" in text  # bar a (the max) normalized to 1
+        assert "0.500" in text
+
+    def test_missing_components_treated_as_zero(self):
+        text = render_stacked_bars(
+            {"a": {"x": 1.0, "y": 1.0}, "b": {"x": 1.0}}, width=10
+        )
+        assert "b" in text
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_stacked_bars({}, width=10)
+
+    def test_zero_totals_rejected(self):
+        with pytest.raises(ValueError):
+            render_stacked_bars({"a": {"x": 0.0}}, width=10)
+
+    def test_distinct_glyphs_per_component(self):
+        text = render_stacked_bars(
+            {"bar": {"one": 0.5, "two": 0.5}}, width=20
+        )
+        legend_line = [line for line in text.splitlines() if "legend" in line][0]
+        glyphs = [token.split()[0] for token in legend_line.split("legend: ")[1].split("  ")]
+        assert len(set(glyphs)) == 2

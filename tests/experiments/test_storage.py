@@ -1,0 +1,86 @@
+"""Section 2.4.1 storage arithmetic: the paper's numbers, digit for digit."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.experiments.storage import render_storage, storage_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return storage_report(MachineConfig.paper())
+
+
+class TestPaperNumbers:
+    def test_replica_reuse_1kb(self, report):
+        assert report.replica_reuse_kb == pytest.approx(1.0)
+        assert report.replica_reuse_bits_per_entry == 2
+
+    def test_limited3_13_5kb(self, report):
+        assert report.limited_k_kb == pytest.approx(13.5)
+        # 3 cores x (2-bit counter + 1 mode bit + 6-bit core id) = 27 bits.
+        assert report.limited_k_bits_per_entry == 27
+
+    def test_complete_96kb(self, report):
+        assert report.complete_kb == pytest.approx(96.0)
+        assert report.complete_bits_per_entry == 192
+
+    def test_ackwise4_12kb(self, report):
+        assert report.ackwise_kb == pytest.approx(12.0)
+        assert report.ackwise_bits_per_entry == 24
+
+    def test_fullmap_32kb(self, report):
+        assert report.fullmap_kb == pytest.approx(32.0)
+        assert report.fullmap_bits_per_entry == 64
+
+    def test_locality_total_14_5kb(self, report):
+        """'Our classifier is implemented with 14.5KB storage overhead
+        per 256KB LLC slice' (Conclusion)."""
+        assert report.locality_total_kb == pytest.approx(14.5)
+
+    def test_limited_plus_ackwise_below_fullmap(self, report):
+        """'uses slightly less storage than the Full Map protocol'."""
+        locality_total = report.locality_total_kb + report.ackwise_kb
+        fullmap_total = report.fullmap_kb
+        assert locality_total < fullmap_total + report.ackwise_kb
+        # More precisely: 12 + 14.5 = 26.5 KB < 32 KB full-map bits alone.
+        assert report.ackwise_kb + report.locality_total_kb < report.fullmap_kb
+
+    def test_limited_overhead_4_5_percent(self, report):
+        assert report.limited_overhead_vs_ackwise == pytest.approx(0.045, abs=0.005)
+
+    def test_complete_overhead_30_percent(self, report):
+        assert report.complete_overhead_vs_ackwise == pytest.approx(0.30, abs=0.01)
+
+
+class TestScaling:
+    def test_1024_core_complete_blowup(self):
+        """Section 2.2.5: the Complete classifier exceeds 5x at 1024 cores."""
+        config = MachineConfig.paper().with_overrides(num_cores=1024)
+        report = storage_report(config)
+        # Complete classifier bits vs the 256KB of data per slice.
+        data_bits = config.llc_slice.capacity_bytes * 8
+        classifier_bits = report.complete_bits_per_entry * report.llc_entries
+        assert classifier_bits / data_bits > 1.0  # grossly unscalable
+
+    def test_limited_k_grows_linearly_in_k(self):
+        config = MachineConfig.paper()
+        k3 = storage_report(config, k=3)
+        k5 = storage_report(config, k=5)
+        assert k5.limited_k_bits_per_entry == pytest.approx(
+            k3.limited_k_bits_per_entry * 5 / 3
+        )
+
+    def test_limited5_is_9kb_more_than_limited3(self):
+        """Section 4.3: Limited_5 'incurs an additional 9KB per core'."""
+        config = MachineConfig.paper()
+        delta = storage_report(config, k=5).limited_k_kb - storage_report(config, k=3).limited_k_kb
+        assert delta == pytest.approx(9.0)
+
+
+class TestRendering:
+    def test_render_contains_key_numbers(self, report):
+        text = render_storage(report)
+        assert "13.5 KB" in text
+        assert "96.0 KB" in text
+        assert "14.5 KB" in text

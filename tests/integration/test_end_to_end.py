@@ -1,0 +1,197 @@
+"""End-to-end qualitative checks: the paper's result *shapes*.
+
+These are the fidelity claims of DESIGN.md §7 — who wins on which
+benchmark class — at small scale with fixed seeds.  Absolute magnitudes
+are not asserted (our substrate is a simplified simulator), only the
+orderings the paper's Section 4.1 narrative predicts.
+"""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.experiments.runner import ExperimentSetup, run_one
+from repro.sim.simulator import simulate
+from repro.schemes.factory import make_scheme
+from repro.workloads.benchmarks import build_trace, get_profile
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(MachineConfig.small(), scale=0.5, seed=1)
+
+
+class TestBarnesSharedReadWrite:
+    """BARNES: high-reuse shared read-write data (Section 4.1)."""
+
+    @pytest.fixture(scope="class")
+    def results(self, setup):
+        return {
+            scheme: run_one(setup, scheme, "BARNES")
+            for scheme in ("S-NUCA", "R-NUCA", "ASR", "RT-3")
+        }
+
+    def test_locality_beats_snuca_energy(self, results):
+        assert results["RT-3"].total_energy < results["S-NUCA"].total_energy
+
+    def test_locality_beats_snuca_time(self, results):
+        assert results["RT-3"].completion_time < results["S-NUCA"].completion_time
+
+    def test_asr_cannot_help_shared_rw(self, results):
+        """ASR does not replicate read-write data, so it tracks S-NUCA."""
+        ratio = results["ASR"].total_energy / results["S-NUCA"].total_energy
+        assert ratio > 0.85
+
+    def test_locality_beats_rnuca(self, results):
+        """R-NUCA never replicates shared data; locality-aware does."""
+        assert results["RT-3"].total_energy < results["R-NUCA"].total_energy
+
+    def test_replica_hits_present(self, results):
+        assert results["RT-3"].stats.miss_breakdown()["LLC-Replica-Hits"] > 0.1
+
+
+class TestDedupPrivate:
+    """DEDUP: almost exclusively private data; R-NUCA optimal."""
+
+    @pytest.fixture(scope="class")
+    def results(self, setup):
+        return {
+            scheme: run_one(setup, scheme, "DEDUP")
+            for scheme in ("S-NUCA", "R-NUCA", "RT-3")
+        }
+
+    def test_rnuca_beats_snuca(self, results):
+        assert results["R-NUCA"].total_energy < results["S-NUCA"].total_energy
+        assert results["R-NUCA"].completion_time < results["S-NUCA"].completion_time
+
+    def test_locality_tracks_rnuca(self, results):
+        """The locality scheme inherits R-NUCA placement; on pure-private
+        workloads it must stay within a few percent."""
+        ratio = results["RT-3"].total_energy / results["R-NUCA"].total_energy
+        assert ratio < 1.1
+
+
+class TestFluidanimatePressure:
+    """FLUIDANIMATE: streaming beyond the LLC; RT-3 must filter replication."""
+
+    @pytest.fixture(scope="class")
+    def results(self, setup):
+        return {
+            scheme: run_one(setup, scheme, "FLUIDANIMATE")
+            for scheme in ("RT-1", "RT-3")
+        }
+
+    def test_rt3_no_worse_offchip_than_rt1(self, results):
+        assert (
+            results["RT-3"].stats.offchip_miss_rate()
+            <= results["RT-1"].stats.offchip_miss_rate() + 0.01
+        )
+
+    def test_rt3_energy_not_worse(self, results):
+        assert results["RT-3"].total_energy <= results["RT-1"].total_energy * 1.05
+
+
+class TestLuncMigratory:
+    """LU-NC: migratory shared data needs E/M replicas (Section 2.3.1)."""
+
+    @pytest.fixture(scope="class")
+    def results(self, setup):
+        return {
+            scheme: run_one(setup, scheme, "LU-NC")
+            for scheme in ("S-NUCA", "ASR", "RT-1")
+        }
+
+    def test_locality_beats_snuca(self, results):
+        assert results["RT-1"].total_energy < results["S-NUCA"].total_energy
+
+    def test_asr_cannot_replicate_migratory(self, results):
+        """ASR is restricted to shared read-only data."""
+        assert results["RT-1"].total_energy < results["ASR"].total_energy
+
+    def test_locality_created_replicas(self, results):
+        assert results["RT-1"].stats.counters["replicas_created"] > 0
+
+
+class TestBlackscholesFalseSharing:
+    """BLACKSCHOLES: page-level false sharing defeats R-NUCA."""
+
+    @pytest.fixture(scope="class")
+    def results(self, setup):
+        return {
+            scheme: run_one(setup, scheme, "BLACKSCHOLES")
+            for scheme in ("R-NUCA", "RT-3")
+        }
+
+    def test_locality_beats_rnuca(self, results):
+        assert results["RT-3"].total_energy < results["R-NUCA"].total_energy
+        assert results["RT-3"].completion_time < results["R-NUCA"].completion_time
+
+
+class TestStreamclusterThresholds:
+    """STREAMCLUSTER: RT-8 fetches repeatedly over the network (Section 4.1).
+
+    Runs at full trace scale: the RT-8 penalty (repeated home fetches
+    before the threshold is ever reached) needs enough reuse to show.
+    """
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        full_scale = ExperimentSetup(MachineConfig.small(), scale=1.0, seed=1)
+        return {
+            scheme: run_one(full_scale, scheme, "STREAMCLUSTER")
+            for scheme in ("RT-3", "RT-8")
+        }
+
+    def test_rt3_beats_rt8(self, results):
+        assert results["RT-3"].completion_time < results["RT-8"].completion_time
+        assert results["RT-3"].total_energy < results["RT-8"].total_energy
+
+    def test_rt3_has_more_replica_hits(self, results):
+        assert (
+            results["RT-3"].stats.miss_breakdown()["LLC-Replica-Hits"]
+            > results["RT-8"].stats.miss_breakdown()["LLC-Replica-Hits"]
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_stats(self):
+        config = MachineConfig.small()
+        traces = build_trace(get_profile("BARNES"), config, scale=0.15, seed=9)
+        first = simulate(make_scheme("RT-3", config), traces)
+        second = simulate(make_scheme("RT-3", config), traces)
+        assert first.completion_time == second.completion_time
+        assert first.counters == second.counters
+        assert first.energy_counts == second.energy_counts
+        assert first.miss_status == second.miss_status
+
+    def test_fresh_traces_same_seed_same_stats(self):
+        config = MachineConfig.small()
+        first_traces = build_trace(get_profile("DEDUP"), config, scale=0.15, seed=4)
+        second_traces = build_trace(get_profile("DEDUP"), config, scale=0.15, seed=4)
+        first = simulate(make_scheme("VR", config), first_traces)
+        second = simulate(make_scheme("VR", config), second_traces)
+        assert first.completion_time == second.completion_time
+        assert first.counters == second.counters
+
+
+class TestStatsConservation:
+    @pytest.mark.parametrize("scheme", ["S-NUCA", "R-NUCA", "VR", "RT-3"])
+    def test_miss_accounting_conserved(self, scheme):
+        """Replica hits + home hits + off-chip = L1 misses."""
+        config = MachineConfig.small()
+        traces = build_trace(get_profile("WATER-NSQ"), config, scale=0.15, seed=5)
+        stats = simulate(make_scheme(scheme, config), traces)
+        l1_misses = stats.counters["l1d_misses"] + stats.counters["l1i_misses"]
+        assert stats.l1_misses() == l1_misses
+        assert (
+            stats.counters.get("llc_replica_hits", 0)
+            + stats.counters.get("llc_home_hits", 0)
+            + stats.counters.get("offchip_misses", 0)
+            == l1_misses
+        )
+
+    def test_all_accesses_accounted(self):
+        config = MachineConfig.small()
+        traces = build_trace(get_profile("FERRET"), config, scale=0.15, seed=5)
+        stats = simulate(make_scheme("RT-3", config), traces)
+        processed = sum(stats.miss_status.values())
+        assert processed == traces.total_accesses()

@@ -1,0 +1,61 @@
+"""Smoke tests on the full 64-core Table 1 machine.
+
+Short traces keep these fast; they verify the paper-scale configuration
+(8x8 mesh, 8 controllers, 4096-entry slices) drives every scheme without
+structural issues, and that the mesh math matches closed forms.
+"""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.network.topology import MeshTopology
+from repro.schemes.factory import FIGURE_SCHEMES, make_scheme
+from repro.sim.simulator import simulate
+from repro.workloads.benchmarks import build_trace, get_profile
+
+
+class TestPaperMachine:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return MachineConfig.paper()
+
+    @pytest.fixture(scope="class")
+    def traces(self, config):
+        return build_trace(get_profile("WATER-NSQ"), config, scale=0.04, seed=6)
+
+    @pytest.mark.parametrize("scheme", FIGURE_SCHEMES)
+    def test_all_schemes_run(self, config, traces, scheme):
+        stats = simulate(make_scheme(scheme, config), traces)
+        assert stats.completion_time > 0
+        assert stats.l1_misses() > 0
+        # Conservation: every L1 miss was serviced somewhere.
+        assert (
+            stats.counters.get("llc_replica_hits", 0)
+            + stats.counters.get("llc_home_hits", 0)
+            + stats.counters.get("offchip_misses", 0)
+            == stats.counters["l1d_misses"] + stats.counters["l1i_misses"]
+        )
+
+    def test_locality_replicates_at_scale(self, config, traces):
+        config_rt1 = config.with_overrides(replication_threshold=1)
+        stats = simulate(make_scheme("Locality", config_rt1), traces)
+        assert stats.counters.get("replicas_created", 0) > 0
+
+    def test_mesh_has_64_tiles(self, config):
+        assert config.mesh_side == 8
+        assert len(make_scheme("S-NUCA", config).slices) == 64
+
+
+class TestMeshClosedForms:
+    @pytest.mark.parametrize("side", [2, 4, 8])
+    def test_average_distance_formula(self, side):
+        """Mean Manhattan distance on an NxN mesh is 2(N^2-1)/(3N)."""
+        mesh = MeshTopology(side * side)
+        expected = 2 * (side * side - 1) / (3 * side)
+        assert mesh.average_distance() == pytest.approx(expected)
+
+    def test_paper_mesh_diameter(self):
+        mesh = MeshTopology(64)
+        assert max(
+            mesh.hops(0, dst) for dst in range(64)
+        ) == 14  # corner to corner on 8x8

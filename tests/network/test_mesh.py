@@ -1,0 +1,89 @@
+"""Mesh latency and contention model."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.network.mesh import Mesh
+
+
+@pytest.fixture
+def mesh(small_config):
+    return Mesh(small_config)
+
+
+class TestUnloadedLatency:
+    def test_local_send_is_free(self, mesh):
+        assert mesh.send(3, 3, 9, depart=100.0) == 100.0
+
+    def test_single_flit_one_hop(self, mesh):
+        # 1 hop x 2 cycles, tail == head for 1 flit.
+        assert mesh.unloaded_latency(0, 1, 1) == 2
+
+    def test_data_message_latency(self, mesh, small_config):
+        # hops * hop_latency + (flits - 1) serialization.
+        flits = mesh.data_flits()
+        hops = mesh.topology.hops(0, 15)
+        assert mesh.unloaded_latency(0, 15, flits) == hops * 2 + flits - 1
+
+    def test_send_matches_unloaded_when_idle(self, mesh):
+        arrival = mesh.send(0, 15, 9, depart=0.0)
+        assert arrival == pytest.approx(mesh.unloaded_latency(0, 15, 9))
+
+    def test_flit_counts(self, mesh, small_config):
+        assert mesh.control_flits() == 1
+        assert mesh.data_flits() == 1 + small_config.cache_line_flits
+
+
+class TestContention:
+    def test_loaded_link_adds_delay(self, mesh):
+        # Saturate a link within one epoch, then measure a fresh message.
+        for _ in range(40):
+            mesh.send(0, 1, 9, depart=10.0)
+        loaded = mesh.send(0, 1, 9, depart=11.0) - 11.0
+        assert loaded > mesh.unloaded_latency(0, 1, 9)
+
+    def test_contention_clears_in_later_epoch(self, mesh):
+        for _ in range(40):
+            mesh.send(0, 1, 9, depart=10.0)
+        later = Mesh.CONTENTION_EPOCH * 3 + 5.0
+        fresh = mesh.send(0, 1, 9, depart=later) - later
+        assert fresh == pytest.approx(mesh.unloaded_latency(0, 1, 9))
+
+    def test_delay_is_bounded(self, mesh):
+        """The utilization clamp keeps single-link delay finite."""
+        for _ in range(10000):
+            mesh.send(0, 1, 9, depart=50.0)
+        worst = mesh.send(0, 1, 9, depart=50.0) - 50.0
+        max_per_link = 9 * Mesh.MAX_UTILIZATION / (1 - Mesh.MAX_UTILIZATION)
+        assert worst <= max_per_link + mesh.unloaded_latency(0, 1, 9) + 1
+
+    def test_disjoint_paths_do_not_interact(self, mesh):
+        for _ in range(40):
+            mesh.send(0, 1, 9, depart=10.0)
+        # Traffic in the opposite corner is unaffected.
+        other = mesh.send(15, 14, 9, depart=11.0) - 11.0
+        assert other == pytest.approx(mesh.unloaded_latency(15, 14, 9))
+
+    def test_out_of_order_departures_stay_stable(self, mesh):
+        """A far-future send must not blow up frontier traffic (the
+        busy-until pathology this model replaces)."""
+        mesh.send(0, 3, 9, depart=1_000_000.0)
+        frontier = mesh.send(0, 3, 9, depart=10.0) - 10.0
+        assert frontier <= mesh.unloaded_latency(0, 3, 9) + 5
+
+
+class TestAccounting:
+    def test_flit_traversal_counts(self, mesh):
+        mesh.send(0, 3, 2, depart=0.0)  # 3 hops, 2 flits
+        assert mesh.link_flit_traversals == 6
+        assert mesh.router_flit_traversals == 8  # (hops + 1) routers
+
+    def test_local_send_counts_no_traversals(self, mesh):
+        mesh.send(5, 5, 9, depart=0.0)
+        assert mesh.link_flit_traversals == 0
+        assert mesh.messages_sent == 1
+
+    def test_round_trip(self, mesh):
+        arrival = mesh.round_trip(0, 1, 1, 9, depart=0.0)
+        expected = mesh.unloaded_latency(0, 1, 1) + mesh.unloaded_latency(1, 0, 9)
+        assert arrival == pytest.approx(expected)

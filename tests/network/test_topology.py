@@ -1,0 +1,115 @@
+"""Mesh topology and XY routing."""
+
+import pytest
+
+from repro.network.topology import MeshTopology, cluster_members, cluster_of
+
+
+class TestCoordinates:
+    def test_corner_coordinates(self):
+        mesh = MeshTopology(16)
+        assert mesh.coordinates(0) == (0, 0)
+        assert mesh.coordinates(3) == (3, 0)
+        assert mesh.coordinates(12) == (0, 3)
+        assert mesh.coordinates(15) == (3, 3)
+
+    def test_core_at_roundtrip(self):
+        mesh = MeshTopology(64)
+        for core in range(64):
+            x, y = mesh.coordinates(core)
+            assert mesh.core_at(x, y) == core
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            MeshTopology(6)
+
+    def test_rejects_out_of_range(self):
+        mesh = MeshTopology(16)
+        with pytest.raises(ValueError):
+            mesh.coordinates(16)
+        with pytest.raises(ValueError):
+            mesh.core_at(4, 0)
+
+
+class TestHops:
+    def test_self_distance_zero(self):
+        mesh = MeshTopology(16)
+        assert mesh.hops(5, 5) == 0
+
+    def test_manhattan_distance(self):
+        mesh = MeshTopology(16)
+        assert mesh.hops(0, 3) == 3   # across a row
+        assert mesh.hops(0, 12) == 3  # down a column
+        assert mesh.hops(0, 15) == 6  # corner to corner
+
+    def test_symmetry(self):
+        mesh = MeshTopology(16)
+        for src in range(16):
+            for dst in range(16):
+                assert mesh.hops(src, dst) == mesh.hops(dst, src)
+
+
+class TestXYRoute:
+    def test_route_length_equals_hops(self):
+        mesh = MeshTopology(16)
+        for src in range(16):
+            for dst in range(16):
+                assert len(list(mesh.route(src, dst))) == mesh.hops(src, dst)
+
+    def test_route_is_connected(self):
+        mesh = MeshTopology(16)
+        links = list(mesh.route(0, 15))
+        assert links[0][0] == 0
+        assert links[-1][1] == 15
+        for (_src, first_dst), (second_src, _dst) in zip(links, links[1:]):
+            assert first_dst == second_src
+
+    def test_x_before_y(self):
+        mesh = MeshTopology(16)
+        links = list(mesh.route(0, 15))
+        # First three links move along the row (dst - src == 1).
+        assert all(dst - src == 1 for src, dst in links[:3])
+        # Remaining links move down columns (dst - src == side).
+        assert all(dst - src == 4 for src, dst in links[3:])
+
+    def test_links_adjacent(self):
+        mesh = MeshTopology(64)
+        for src, dst in mesh.route(0, 63):
+            assert mesh.hops(src, dst) == 1
+
+
+class TestClusters:
+    def test_cluster_of_identity_for_size_one(self):
+        assert cluster_of(5, 1, side=4) == 5
+
+    def test_2x2_clusters_on_4x4(self):
+        # 4x4 mesh, 2x2 clusters: cores 0,1,4,5 form cluster 0.
+        for core in (0, 1, 4, 5):
+            assert cluster_of(core, 4, side=4) == 0
+        for core in (2, 3, 6, 7):
+            assert cluster_of(core, 4, side=4) == 1
+        for core in (10, 11, 14, 15):
+            assert cluster_of(core, 4, side=4) == 3
+
+    def test_cluster_members_inverse(self):
+        side = 8
+        for core in range(64):
+            cluster = cluster_of(core, 16, side)
+            assert core in cluster_members(cluster, 16, side)
+
+    def test_members_partition_the_mesh(self):
+        side = 4
+        seen = []
+        for cluster in range(4):
+            seen.extend(cluster_members(cluster, 4, side))
+        assert sorted(seen) == list(range(16))
+
+    def test_non_square_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_of(0, 8, side=4)
+
+
+class TestAverageDistance:
+    def test_known_value_2x2(self):
+        # 2x2 mesh: pair distances average to 1.0.
+        assert MeshTopology(4).average_distance() == pytest.approx(1.0)

@@ -1,0 +1,129 @@
+"""Placement policies: S-NUCA interleaving and R-NUCA page classification."""
+
+import pytest
+
+from repro.placement.base import StaticNuca
+from repro.placement.rnuca import PageClass, ReactiveNuca
+
+
+class TestStaticNuca:
+    def test_interleaves_by_address(self):
+        placement = StaticNuca(16)
+        assert placement.home_for(0, requester=5, is_ifetch=False) == 0
+        assert placement.home_for(17, requester=5, is_ifetch=False) == 1
+
+    def test_requester_independent(self):
+        placement = StaticNuca(16)
+        homes = {placement.home_for(100, core, False) for core in range(16)}
+        assert len(homes) == 1
+
+    def test_covers_all_slices(self):
+        placement = StaticNuca(16)
+        homes = {placement.home_for(line, 0, False) for line in range(64)}
+        assert homes == set(range(16))
+
+    def test_not_requester_dependent(self):
+        assert not StaticNuca(16).homes_depend_on_requester
+
+
+@pytest.fixture
+def rnuca():
+    return ReactiveNuca(num_cores=16, lines_per_page=64, instruction_clustering=True)
+
+
+class TestRNucaClassification:
+    def test_first_touch_private(self, rnuca):
+        rnuca.observe_access(100, requester=3, is_ifetch=False)
+        page_class, owner = rnuca.classification(100)
+        assert page_class == PageClass.PRIVATE
+        assert owner == 3
+
+    def test_private_page_placed_at_owner(self, rnuca):
+        rnuca.observe_access(100, requester=3, is_ifetch=False)
+        assert rnuca.home_for(100, requester=3, is_ifetch=False) == 3
+        # Even other requesters are directed to the owner slice.
+        assert rnuca.home_for(100, requester=9, is_ifetch=False) == 3
+
+    def test_same_core_does_not_reclassify(self, rnuca):
+        rnuca.observe_access(100, requester=3, is_ifetch=False)
+        rnuca.observe_access(101, requester=3, is_ifetch=False)
+        page_class, _ = rnuca.classification(100)
+        assert page_class == PageClass.PRIVATE
+        assert rnuca.shared_transitions == 0
+
+    def test_second_core_makes_shared(self, rnuca):
+        rnuca.observe_access(100, requester=3, is_ifetch=False)
+        rnuca.observe_access(100, requester=4, is_ifetch=False)
+        page_class, _ = rnuca.classification(100)
+        assert page_class == PageClass.SHARED
+        assert rnuca.shared_transitions == 1
+
+    def test_shared_page_interleaved(self, rnuca):
+        rnuca.observe_access(100, requester=3, is_ifetch=False)
+        rnuca.observe_access(100, requester=4, is_ifetch=False)
+        assert rnuca.home_for(100, requester=3, is_ifetch=False) == 100 % 16
+
+    def test_page_granularity(self, rnuca):
+        """All lines of a page share the classification."""
+        rnuca.observe_access(0, requester=2, is_ifetch=False)
+        assert rnuca.home_for(63, requester=2, is_ifetch=False) == 2
+        rnuca.observe_access(64, requester=5, is_ifetch=False)
+        assert rnuca.home_for(64, requester=5, is_ifetch=False) == 5
+
+    def test_untouched_page_interleaved(self, rnuca):
+        assert rnuca.home_for(200, requester=0, is_ifetch=False) == 200 % 16
+
+    def test_private_page_count(self, rnuca):
+        rnuca.observe_access(0, requester=0, is_ifetch=False)
+        rnuca.observe_access(64, requester=1, is_ifetch=False)
+        assert rnuca.private_pages == 2
+        rnuca.observe_access(0, requester=1, is_ifetch=False)
+        assert rnuca.private_pages == 1
+
+
+class TestRNucaInstructionClustering:
+    def test_instruction_home_within_cluster(self, rnuca):
+        """A core's instruction home must be one of its 4-core cluster."""
+        from repro.network.topology import cluster_members, cluster_of
+        for core in range(16):
+            home = rnuca.home_for(500, requester=core, is_ifetch=True)
+            cluster = cluster_of(core, 4, side=4)
+            assert home in cluster_members(cluster, 4, side=4)
+
+    def test_one_copy_per_cluster(self, rnuca):
+        """Cores in the same cluster agree on the instruction home."""
+        from repro.network.topology import cluster_members
+        members = cluster_members(0, 4, side=4)
+        homes = {rnuca.home_for(500, requester=core, is_ifetch=True) for core in members}
+        assert len(homes) == 1
+
+    def test_different_clusters_hold_separate_copies(self, rnuca):
+        homes = {rnuca.home_for(500, requester=core, is_ifetch=True) for core in range(16)}
+        assert len(homes) == 4  # one per cluster
+
+    def test_rotational_interleaving_spreads_lines(self, rnuca):
+        """Different lines occupy different slices within a cluster."""
+        homes = {rnuca.home_for(line, requester=0, is_ifetch=True) for line in range(16)}
+        assert len(homes) == 4
+
+    def test_instruction_pages_not_classified(self, rnuca):
+        rnuca.observe_access(500, requester=0, is_ifetch=True)
+        assert rnuca.classification(500) is None
+
+    def test_requester_dependent(self, rnuca):
+        assert rnuca.homes_depend_on_requester
+
+
+class TestRNucaWithoutClustering:
+    """The locality-aware scheme's placement (Section 2.1)."""
+
+    def test_instructions_follow_page_classification(self):
+        placement = ReactiveNuca(16, 64, instruction_clustering=False)
+        placement.observe_access(500, requester=2, is_ifetch=True)
+        assert placement.home_for(500, requester=2, is_ifetch=True) == 2
+        placement.observe_access(500, requester=3, is_ifetch=True)
+        assert placement.home_for(500, requester=3, is_ifetch=True) == 500 % 16
+
+    def test_not_requester_dependent(self):
+        placement = ReactiveNuca(16, 64, instruction_clustering=False)
+        assert not placement.homes_depend_on_requester

@@ -1,0 +1,93 @@
+"""Hypothesis property tests for the cache substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.array import SetAssociativeCache
+from repro.cache.entries import CacheLine
+from repro.cache.replacement import LRUPolicy, ModifiedLRUPolicy
+from repro.common.params import CacheGeometry
+from repro.common.types import MESIState
+
+geometries = st.sampled_from([
+    CacheGeometry(sets=2, ways=1),
+    CacheGeometry(sets=2, ways=2),
+    CacheGeometry(sets=4, ways=2),
+    CacheGeometry(sets=8, ways=4),
+    CacheGeometry(sets=4, ways=2, index_shift=2),
+])
+
+address_streams = st.lists(st.integers(min_value=0, max_value=255),
+                           min_size=1, max_size=200)
+
+
+def _fill(cache, addresses):
+    """Reference insertion procedure with correct eviction."""
+    for address in addresses:
+        if cache.lookup(address) is not None:
+            cache.access(address)
+            continue
+        victim = cache.victim_for(address)
+        if victim is not None:
+            cache.remove(victim.line_addr)
+        cache.insert(CacheLine(address, MESIState.SHARED))
+
+
+class TestCapacityInvariants:
+    @given(geometry=geometries, addresses=address_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_ways(self, geometry, addresses):
+        cache = SetAssociativeCache(geometry, LRUPolicy())
+        _fill(cache, addresses)
+        for set_index in range(geometry.sets):
+            assert cache.set_occupancy(set_index) <= geometry.ways
+
+    @given(geometry=geometries, addresses=address_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_resident_lines_subset_of_inserted(self, geometry, addresses):
+        cache = SetAssociativeCache(geometry, LRUPolicy())
+        _fill(cache, addresses)
+        resident = {entry.line_addr for entry in cache}
+        assert resident <= set(addresses)
+
+    @given(geometry=geometries, addresses=address_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_lines_reside_in_their_set(self, geometry, addresses):
+        cache = SetAssociativeCache(geometry, ModifiedLRUPolicy())
+        _fill(cache, addresses)
+        for set_index in range(geometry.sets):
+            cache_set = cache._sets[set_index]
+            for address in cache_set:
+                assert geometry.set_index(address) == set_index
+
+
+class TestLRUProperty:
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=15),
+                              min_size=3, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_most_recent_line_survives(self, addresses):
+        """The line touched last is never the next victim."""
+        geometry = CacheGeometry(sets=1, ways=4)
+        cache = SetAssociativeCache(geometry, LRUPolicy())
+        _fill(cache, addresses)
+        last = addresses[-1]
+        victim = cache.victim_for(9999)  # some new line
+        if victim is not None:
+            assert victim.line_addr != last
+
+
+class TestSetIndexProperties:
+    @given(
+        shift=st.integers(min_value=0, max_value=6),
+        line=st.integers(min_value=0, max_value=2**40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_index_in_range(self, shift, line):
+        geometry = CacheGeometry(sets=64, ways=4, index_shift=shift)
+        assert 0 <= geometry.set_index(line) < 64
+
+    @given(line=st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=100, deadline=None)
+    def test_index_deterministic(self, line):
+        geometry = CacheGeometry(sets=32, ways=4, index_shift=4)
+        assert geometry.set_index(line) == geometry.set_index(line)

@@ -1,0 +1,105 @@
+"""Hypothesis property tests for the locality classifiers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import ReplicationMode
+from repro.core.classifier import CompleteClassifier, LimitedClassifier
+
+NUM_CORES = 8
+
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write_solo", "write_contended",
+                         "invalidate", "evict", "reset"]),
+        st.integers(min_value=0, max_value=NUM_CORES - 1),
+        st.integers(min_value=0, max_value=7),  # replica reuse for inval/evict
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _apply(classifier, state, sequence):
+    for kind, core, reuse in sequence:
+        if kind == "read":
+            classifier.on_home_read(state, core)
+        elif kind == "write_solo":
+            classifier.on_home_write(state, core, was_only_sharer=True)
+        elif kind == "write_contended":
+            classifier.on_home_write(state, core, was_only_sharer=False)
+        elif kind == "invalidate":
+            classifier.on_invalidation(state, core, reuse)
+        elif kind == "evict":
+            classifier.on_replica_eviction(state, core, reuse)
+        elif kind == "reset":
+            classifier.on_write_reset_others(state, core, set(range(NUM_CORES)))
+            classifier.mark_inactive_nonreplicas(state, core)
+
+
+@st.composite
+def classifier_and_state(draw):
+    rt = draw(st.integers(min_value=1, max_value=4))
+    limited = draw(st.booleans())
+    if limited:
+        k = draw(st.integers(min_value=1, max_value=4))
+        classifier = LimitedClassifier(NUM_CORES, rt, max(3, rt), k=k)
+    else:
+        classifier = CompleteClassifier(NUM_CORES, rt, max(3, rt))
+    return classifier, classifier.new_state()
+
+
+class TestClassifierInvariants:
+    @given(setup=classifier_and_state(), sequence=events)
+    @settings(max_examples=150, deadline=None)
+    def test_counters_bounded(self, setup, sequence):
+        classifier, state = setup
+        _apply(classifier, state, sequence)
+        for core in range(NUM_CORES):
+            assert 0 <= state.home_reuse(core) <= classifier.counter_max
+
+    @given(setup=classifier_and_state(), sequence=events)
+    @settings(max_examples=150, deadline=None)
+    def test_modes_are_valid(self, setup, sequence):
+        classifier, state = setup
+        _apply(classifier, state, sequence)
+        for core in range(NUM_CORES):
+            assert state.mode(core) in (ReplicationMode.REPLICA,
+                                        ReplicationMode.NON_REPLICA)
+
+    @given(setup=classifier_and_state(), sequence=events)
+    @settings(max_examples=150, deadline=None)
+    def test_limited_tracks_at_most_k(self, setup, sequence):
+        classifier, state = setup
+        if not isinstance(classifier, LimitedClassifier):
+            return
+        _apply(classifier, state, sequence)
+        assert len(state.slots) <= classifier.k
+        tracked = [slot.core for slot in state.slots]
+        assert len(tracked) == len(set(tracked))  # no duplicate slots
+
+    @given(sequence=events)
+    @settings(max_examples=100, deadline=None)
+    def test_rt1_read_always_replicates(self, sequence):
+        """With RT=1, any read at the home grants replication."""
+        classifier = CompleteClassifier(NUM_CORES, rt=1, counter_max=3)
+        state = classifier.new_state()
+        _apply(classifier, state, sequence)
+        assert classifier.on_home_read(state, 0) is True
+
+    @given(setup=classifier_and_state(), sequence=events)
+    @settings(max_examples=100, deadline=None)
+    def test_promotion_requires_rt_events(self, setup, sequence):
+        """A core never reaches replica mode with fewer home events than
+        RT (for the Complete classifier, which cannot inherit by vote)."""
+        classifier, state = setup
+        if isinstance(classifier, LimitedClassifier):
+            return
+        home_events = {}
+        for kind, core, _reuse in sequence:
+            if kind in ("read", "write_solo", "write_contended"):
+                home_events[core] = home_events.get(core, 0) + 1
+        _apply(classifier, state, sequence)
+        for core in range(NUM_CORES):
+            if state.mode(core) == ReplicationMode.REPLICA:
+                assert home_events.get(core, 0) >= classifier.rt

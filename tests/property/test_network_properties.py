@@ -1,0 +1,123 @@
+"""Hypothesis property tests for the mesh and sharer trackers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.sharers import AckwiseSharers, FullMapSharers
+from repro.common.params import MachineConfig
+from repro.network.mesh import Mesh
+from repro.network.topology import MeshTopology
+
+
+class TestTopologyProperties:
+    @given(
+        src=st.integers(min_value=0, max_value=63),
+        dst=st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_route_length_is_manhattan_distance(self, src, dst):
+        mesh = MeshTopology(64)
+        assert len(list(mesh.route(src, dst))) == mesh.hops(src, dst)
+
+    @given(
+        src=st.integers(min_value=0, max_value=63),
+        mid=st.integers(min_value=0, max_value=63),
+        dst=st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, src, mid, dst):
+        mesh = MeshTopology(64)
+        assert mesh.hops(src, dst) <= mesh.hops(src, mid) + mesh.hops(mid, dst)
+
+
+class TestMeshProperties:
+    @given(
+        src=st.integers(min_value=0, max_value=15),
+        dst=st.integers(min_value=0, max_value=15),
+        flits=st.integers(min_value=1, max_value=9),
+        depart=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arrival_never_before_departure(self, src, dst, flits, depart):
+        mesh = Mesh(MachineConfig.small())
+        arrival = mesh.send(src, dst, flits, depart)
+        assert arrival >= depart
+
+    @given(
+        sends=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=1, max_value=9),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_latency_at_least_unloaded(self, sends):
+        mesh = Mesh(MachineConfig.small())
+        now = 0.0
+        for src, dst, flits in sends:
+            arrival = mesh.send(src, dst, flits, now)
+            assert arrival - now >= mesh.unloaded_latency(src, dst, flits) - 1e-9
+            now += 1.0
+
+
+class TestSharerProperties:
+    operations = st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]),
+                  st.integers(min_value=0, max_value=15)),
+        max_size=80,
+    )
+
+    @given(pointers=st.integers(min_value=1, max_value=6), ops=operations)
+    @settings(max_examples=100, deadline=None)
+    def test_ackwise_count_matches_members(self, pointers, ops):
+        sharers = AckwiseSharers(pointers)
+        reference = set()
+        for op, core in ops:
+            if op == "add":
+                sharers.add(core)
+                reference.add(core)
+            else:
+                sharers.remove(core)
+                reference.discard(core)
+        assert sharers.members() == reference
+        assert sharers.count == len(reference)
+
+    @given(pointers=st.integers(min_value=1, max_value=6), ops=operations)
+    @settings(max_examples=100, deadline=None)
+    def test_ackwise_precise_implies_pointers_match(self, pointers, ops):
+        sharers = AckwiseSharers(pointers)
+        for op, core in ops:
+            if op == "add":
+                sharers.add(core)
+            else:
+                sharers.remove(core)
+            if sharers.precise:
+                assert sharers.pointers() == sharers.members()
+            else:
+                assert sharers.count > 0
+
+    @given(ops=operations)
+    @settings(max_examples=100, deadline=None)
+    def test_invalidation_targets_cover_members(self, ops):
+        sharers = AckwiseSharers(2)
+        for op, core in ops:
+            if op == "add":
+                sharers.add(core)
+            else:
+                sharers.remove(core)
+        targets = set(sharers.invalidation_targets(num_cores=16))
+        assert sharers.members() <= targets
+
+    @given(ops=operations)
+    @settings(max_examples=100, deadline=None)
+    def test_fullmap_always_precise(self, ops):
+        sharers = FullMapSharers()
+        for op, core in ops:
+            if op == "add":
+                sharers.add(core)
+            else:
+                sharers.remove(core)
+        assert sharers.precise

@@ -1,0 +1,71 @@
+"""Hypothesis property tests at the whole-simulation level."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import MachineConfig
+from repro.schemes.factory import make_scheme
+from repro.sim.simulator import simulate
+from repro.workloads.benchmarks import BenchmarkProfile, build_trace
+
+class TestWholeSimulationProperties:
+    @given(
+        f_ifetch=st.sampled_from([0.0, 0.1]),
+        shared_rw_pattern=st.sampled_from(["loop", "stream"]),
+        write_frac=st.sampled_from([0.0, 0.3]),
+        barriers=st.sampled_from([0, 2]),
+        scheme=st.sampled_from(["S-NUCA", "R-NUCA", "VR", "RT-1", "RT-3"]),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_and_progress(
+        self, f_ifetch, shared_rw_pattern, write_frac, barriers, scheme, seed
+    ):
+        profile = BenchmarkProfile(
+            name="SYNTH",
+            description="hypothesis-generated",
+            f_ifetch=f_ifetch,
+            f_private=0.4,
+            f_shared_ro=0.2,
+            f_shared_rw=0.4 - f_ifetch,
+            shared_rw_pattern=shared_rw_pattern,
+            write_frac_rw=write_frac,
+            accesses_per_core=120,
+            barriers=barriers,
+        )
+        config = MachineConfig.tiny()
+        traces = build_trace(profile, config, scale=1.0, seed=seed)
+        stats = simulate(make_scheme(scheme, config), traces)
+        # Every access processed exactly once.
+        assert sum(stats.miss_status.values()) == traces.total_accesses()
+        # Conservation of miss servicing.
+        l1_misses = stats.counters["l1d_misses"] + stats.counters["l1i_misses"]
+        assert (
+            stats.counters.get("llc_replica_hits", 0)
+            + stats.counters.get("llc_home_hits", 0)
+            + stats.counters.get("offchip_misses", 0)
+            == l1_misses
+        )
+        # Time advances and every core finished.
+        assert stats.completion_time > 0
+        assert all(finish > 0 for finish in stats.core_finish)
+        # Energy counters are all non-negative.
+        assert all(value >= 0 for value in stats.energy_counts.values())
+
+    @given(seed=st.integers(min_value=0, max_value=99))
+    @settings(max_examples=10, deadline=None)
+    def test_two_identical_runs_agree(self, seed):
+        profile = BenchmarkProfile(
+            name="SYNTH", description="determinism probe",
+            f_ifetch=0.05, f_private=0.45, f_shared_ro=0.2, f_shared_rw=0.3,
+            accesses_per_core=100, barriers=1,
+        )
+        config = MachineConfig.tiny()
+        traces = build_trace(profile, config, scale=1.0, seed=seed)
+        first = simulate(make_scheme("RT-3", config), traces)
+        second = simulate(
+            make_scheme("RT-3", config),
+            build_trace(profile, config, scale=1.0, seed=seed),
+        )
+        assert first.completion_time == second.completion_time
+        assert first.counters == second.counters

@@ -1,0 +1,75 @@
+"""Hypothesis property tests for workload generation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import MachineConfig
+from repro.common.types import AccessType, LineClass
+from repro.workloads.benchmarks import BENCHMARK_ORDER, build_trace, get_profile
+
+benchmark_names = st.sampled_from(BENCHMARK_ORDER)
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+class TestTraceProperties:
+    @given(name=benchmark_names, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_all_lines_belong_to_regions(self, name, seed):
+        config = MachineConfig.tiny()
+        traces = build_trace(get_profile(name), config, scale=0.02, seed=seed)
+        for trace in traces.cores:
+            for line, atype in zip(trace.lines, trace.types):
+                if atype == AccessType.BARRIER:
+                    continue
+                traces.classify(int(line))  # must not raise
+
+    @given(name=benchmark_names, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_instruction_accesses_never_write(self, name, seed):
+        config = MachineConfig.tiny()
+        traces = build_trace(get_profile(name), config, scale=0.02, seed=seed)
+        for trace in traces.cores:
+            for line, atype in zip(trace.lines, trace.types):
+                if atype == AccessType.WRITE:
+                    line_class = traces.classify(int(line))
+                    assert line_class != LineClass.INSTRUCTION
+                    assert line_class != LineClass.SHARED_RO
+
+    @given(name=benchmark_names, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_regions_disjoint(self, name, seed):
+        config = MachineConfig.tiny()
+        traces = build_trace(get_profile(name), config, scale=0.02, seed=seed)
+        spans = sorted(
+            (region.base, region.end) for region, _cls in traces.regions
+        )
+        for (base_a, end_a), (base_b, _end_b) in zip(spans, spans[1:]):
+            assert end_a <= base_b
+
+    @given(name=benchmark_names, seed=seeds, scale=st.floats(0.01, 0.05))
+    @settings(max_examples=15, deadline=None)
+    def test_same_inputs_same_trace(self, name, seed, scale):
+        import numpy as np
+        config = MachineConfig.tiny()
+        first = build_trace(get_profile(name), config, scale=scale, seed=seed)
+        second = build_trace(get_profile(name), config, scale=scale, seed=seed)
+        for trace_a, trace_b in zip(first.cores, second.cores):
+            assert np.array_equal(trace_a.lines, trace_b.lines)
+            assert np.array_equal(trace_a.types, trace_b.types)
+            assert np.array_equal(trace_a.gaps, trace_b.gaps)
+
+    @given(name=benchmark_names)
+    @settings(max_examples=21, deadline=None)
+    def test_access_mix_roughly_matches_profile(self, name):
+        import numpy as np
+        config = MachineConfig.small()
+        profile = get_profile(name)
+        traces = build_trace(profile, config, scale=0.5, seed=0)
+        total = 0
+        ifetch = 0
+        for trace in traces.cores:
+            mask = trace.types != AccessType.BARRIER
+            total += int(mask.sum())
+            ifetch += int((trace.types == AccessType.IFETCH).sum())
+        observed = ifetch / total
+        assert abs(observed - profile.f_ifetch) < 0.05

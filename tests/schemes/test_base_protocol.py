@@ -1,0 +1,192 @@
+"""Directory protocol flows on the S-NUCA engine (the common machinery)."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.common.types import AccessType, MESIState, MissStatus
+from repro.schemes.snuca import SNucaScheme
+from tests.helpers import check_coherence, drive, read, write
+
+
+@pytest.fixture
+def engine(tiny_config):
+    return SNucaScheme(tiny_config)
+
+
+class TestReadPath:
+    def test_cold_read_misses_offchip(self, engine):
+        (result,) = drive(engine, [read(0, 5)])
+        assert result.status == MissStatus.OFF_CHIP_MISS
+        assert engine.stats.counters["offchip_misses"] == 1
+
+    def test_sole_reader_granted_exclusive(self, engine):
+        drive(engine, [read(0, 5)])
+        assert engine.l1d[0].lookup(5).state == MESIState.EXCLUSIVE
+
+    def test_second_access_hits_l1(self, engine):
+        results = drive(engine, [read(0, 5), read(0, 5)])
+        assert results[1].status == MissStatus.L1_HIT
+        assert results[1].latency == engine.config.l1_latency
+
+    def test_second_reader_hits_home(self, engine):
+        results = drive(engine, [read(0, 5), read(1, 5)])
+        assert results[1].status == MissStatus.LLC_HOME_HIT
+
+    def test_second_reader_downgrades_owner(self, engine):
+        drive(engine, [read(0, 5), read(1, 5)])
+        assert engine.l1d[0].lookup(5).state == MESIState.SHARED
+        assert engine.l1d[1].lookup(5).state == MESIState.SHARED
+        assert engine.stats.counters["downgrades"] == 1
+
+    def test_directory_tracks_both_readers(self, engine):
+        drive(engine, [read(0, 5), read(1, 5)])
+        home = engine.slices[5 % 4].home(5)
+        assert home.sharers.members() == {0, 1}
+
+    def test_home_hit_at_local_slice_cheap(self, engine):
+        """A request whose home is the local slice never crosses the mesh."""
+        drive(engine, [read(0, 4), read(0, 100)])  # line 4 homes at core 0
+        flits_before = engine.mesh.messages_sent
+        engine.l1d[0].invalidate(4)  # force an L1 miss without traffic
+        home = engine.slices[0].home(4)
+        home.sharers.remove(0)
+        (result,) = drive(engine, [read(0, 4)], start_time=1000.0)
+        assert result.status == MissStatus.LLC_HOME_HIT
+
+
+class TestWritePath:
+    def test_write_grants_modified(self, engine):
+        drive(engine, [write(0, 5)])
+        entry = engine.l1d[0].lookup(5)
+        assert entry.state == MESIState.MODIFIED
+        assert entry.dirty
+
+    def test_write_invalidates_readers(self, engine):
+        drive(engine, [read(1, 5), read(2, 5), write(0, 5)])
+        assert engine.l1d[1].lookup(5) is None
+        assert engine.l1d[2].lookup(5) is None
+        assert engine.stats.counters["invalidations_sent"] >= 2
+
+    def test_write_leaves_single_sharer(self, engine):
+        drive(engine, [read(1, 5), write(0, 5)])
+        home = engine.slices[5 % 4].home(5)
+        assert home.sharers.members() == {0}
+        assert home.owner == 0
+
+    def test_dirty_owner_writes_back_on_read(self, engine):
+        drive(engine, [write(0, 5), read(1, 5)])
+        home = engine.slices[5 % 4].home(5)
+        assert home.dirty
+        assert engine.stats.counters["dirty_writebacks"] >= 1
+
+    def test_upgrade_from_shared(self, engine):
+        drive(engine, [read(0, 5), read(1, 5), write(0, 5)])
+        assert engine.l1d[0].lookup(5).state == MESIState.MODIFIED
+        assert engine.l1d[1].lookup(5) is None
+
+    def test_write_write_migration(self, engine):
+        drive(engine, [write(0, 5), write(1, 5)])
+        assert engine.l1d[0].lookup(5) is None
+        assert engine.l1d[1].lookup(5).state == MESIState.MODIFIED
+
+
+class TestCoherenceInvariants:
+    def test_after_read_sharing(self, engine):
+        drive(engine, [read(core, line) for core in range(4) for line in (5, 9, 13)])
+        assert check_coherence(engine) == []
+
+    def test_after_write_storm(self, engine):
+        accesses = []
+        for turn in range(6):
+            for core in range(4):
+                accesses.append(write(core, 7))
+                accesses.append(read(core, 11))
+        drive(engine, accesses)
+        assert check_coherence(engine) == []
+
+    def test_after_mixed_traffic(self, engine):
+        import random
+        rng = random.Random(42)
+        accesses = []
+        for _ in range(300):
+            core = rng.randrange(4)
+            line = rng.randrange(24)
+            kind = write if rng.random() < 0.3 else read
+            accesses.append(kind(core, line))
+        drive(engine, accesses)
+        assert check_coherence(engine) == []
+
+
+class TestL1Eviction:
+    def test_eviction_notifies_home(self, engine, tiny_config):
+        """Filling an L1 set evicts the LRU line and removes the sharer."""
+        # Lines 0, 16, 32 share L1 set 0 (4 sets) but have distinct homes.
+        drive(engine, [read(0, 0), read(0, 16), read(0, 32)])
+        assert engine.stats.counters["l1_evictions"] == 1
+        home = engine.slices[0].home(0)
+        assert home is not None
+        assert 0 not in home.sharers.members()
+
+    def test_dirty_eviction_merges_at_home(self, engine):
+        drive(engine, [write(0, 16), read(0, 0), read(0, 32)])
+        home = engine.slices[0].home(16)
+        assert home.dirty
+
+
+class TestHomeEviction:
+    def test_back_invalidation_on_home_eviction(self, tiny_config):
+        """Evicting a home line invalidates every L1 copy (inclusion)."""
+        from repro.common.params import CacheGeometry
+        config = MachineConfig.tiny(llc_slice=CacheGeometry(sets=1, ways=2))
+        engine = SNucaScheme(config)
+        # Three lines homed at core 0 overflow its 2-way slice.
+        drive(engine, [read(1, 0), read(1, 4), read(1, 8)])
+        assert engine.stats.counters["home_evictions"] >= 1
+        assert check_coherence(engine) == []
+
+    def test_inclusion_holds_under_pressure(self):
+        from repro.common.params import CacheGeometry
+        config = MachineConfig.tiny(llc_slice=CacheGeometry(sets=2, ways=2))
+        engine = SNucaScheme(config)
+        accesses = [read(core, line) for line in range(0, 64, 4) for core in range(4)]
+        drive(engine, accesses)
+        assert check_coherence(engine) == []
+
+
+class TestAckwiseBroadcast:
+    def test_overflow_broadcasts_invalidations(self):
+        config = MachineConfig.small(ackwise_pointers=2)
+        engine = SNucaScheme(config)
+        readers = [read(core, 5) for core in range(6)]
+        drive(engine, readers + [write(6, 5)])
+        assert engine.stats.counters["broadcast_invalidations"] >= 1
+        # Broadcast sends an invalidation to every core.
+        assert engine.stats.counters["invalidations_sent"] >= config.num_cores - 1
+        assert check_coherence(engine) == []
+
+
+class TestLatencyAccounting:
+    def test_l1_hit_is_one_cycle(self, engine):
+        results = drive(engine, [read(0, 5), read(0, 5)])
+        assert results[1].latency == 1
+
+    def test_remote_home_slower_than_local(self, engine):
+        remote = drive(engine, [read(0, 7)])[0]     # home = core 3
+        local = drive(engine, [read(3, 11)], start_time=10000.0)[0]  # home = 3
+        assert remote.latency > local.latency
+
+    def test_offchip_slower_than_home_hit(self, engine):
+        miss = drive(engine, [read(0, 5)])[0]
+        engine.l1d[0].invalidate(5)
+        engine.slices[1].home(5).sharers.remove(0)
+        hit = drive(engine, [read(0, 5)], start_time=10000.0)[0]
+        assert miss.latency > hit.latency
+        assert miss.latency >= engine.config.dram_latency_cycles
+
+    def test_waiting_bucket_counts_serialization(self, engine):
+        """Back-to-back requests to one line serialize at the home."""
+        from repro.sim import stats as stat_names
+        drive(engine, [read(0, 5)])
+        engine.access(1, AccessType.READ, 5, 1000.0)
+        engine.access(2, AccessType.READ, 5, 1000.0)
+        assert engine.stats.latency[stat_names.LLC_HOME_WAITING] > 0

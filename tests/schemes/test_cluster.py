@@ -1,0 +1,121 @@
+"""Cluster-level replication (Section 2.3.4 / Figure 10)."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.common.types import MissStatus
+from repro.schemes.locality import LocalityAwareScheme
+from tests.helpers import check_coherence, drive, read, write
+
+
+def cluster_engine(cluster_size, num_cores=16, rt=1):
+    config = MachineConfig.small(
+        cluster_size=cluster_size, replication_threshold=rt
+    )
+    return LocalityAwareScheme(config)
+
+
+def make_shared(engine, line, cores=(14, 15)):
+    drive(engine, [read(cores[0], line), read(cores[1], line)])
+
+
+class TestReplicaPlacement:
+    def test_cluster1_places_at_requester(self):
+        engine = cluster_engine(1)
+        for core in range(16):
+            for line in range(64):
+                assert engine.replica_slice_for(core, line) == core
+
+    def test_cluster4_places_within_cluster(self):
+        from repro.network.topology import cluster_members, cluster_of
+        engine = cluster_engine(4)
+        for core in range(16):
+            members = cluster_members(cluster_of(core, 4, 4), 4, 4)
+            for line in range(64):
+                assert engine.replica_slice_for(core, line) in members
+
+    def test_cluster_members_share_one_replica_slice(self):
+        from repro.network.topology import cluster_members
+        engine = cluster_engine(4)
+        members = cluster_members(0, 4, 4)
+        slices = {engine.replica_slice_for(core, 37) for core in members}
+        assert len(slices) == 1
+
+    def test_cluster_full_machine_single_location(self):
+        engine = cluster_engine(16)
+        slices = {engine.replica_slice_for(core, 37) for core in range(16)}
+        assert len(slices) == 1
+
+    def test_lines_interleave_within_cluster(self):
+        engine = cluster_engine(4)
+        slices = {engine.replica_slice_for(0, line) for line in range(16)}
+        assert len(slices) == 4
+
+
+class TestClusterProtocol:
+    def test_replica_created_at_cluster_slice(self):
+        engine = cluster_engine(4)
+        make_shared(engine, 103)  # shared home = core 3, outside cluster 0
+        slice_id = engine.replica_slice_for(0, 103)
+        assert engine.replica_would_help(3, 0, 103)
+        drive(engine, [read(0, 103)], start_time=1000.0)
+        assert engine.slices[slice_id].replica(103) is not None
+
+    def test_cluster_member_hits_shared_replica(self):
+        from repro.network.topology import cluster_members, cluster_of
+        engine = cluster_engine(4)
+        make_shared(engine, 103)
+        members = cluster_members(cluster_of(0, 4, 4), 4, 4)
+        requester = members[0]
+        neighbor = members[1]
+        slice_id = engine.replica_slice_for(requester, 103)
+        drive(engine, [read(requester, 103)], start_time=1000.0)
+        assert engine.slices[slice_id].replica(103) is not None
+        (result,) = drive(engine, [read(neighbor, 103)], start_time=2000.0)
+        assert result.status == MissStatus.LLC_REPLICA_HIT
+
+    def test_write_invalidates_cluster_replica(self):
+        engine = cluster_engine(4)
+        make_shared(engine, 103)
+        slice_id = engine.replica_slice_for(0, 103)
+        drive(engine, [read(0, 103)], start_time=1000.0)
+        assert engine.slices[slice_id].replica(103) is not None
+        drive(engine, [write(13, 103)], start_time=2000.0)
+        assert engine.slices[slice_id].replica(103) is None
+
+    def test_remote_cluster_probe_costs_network(self):
+        """A requester whose cluster slice is remote pays mesh latency on
+        the probe (the serialization penalty of Section 2.3.4)."""
+        engine1 = cluster_engine(1)
+        engine4 = cluster_engine(4)
+        for engine in (engine1, engine4):
+            make_shared(engine, 101)
+        # Pick a core whose cluster-4 replica slice differs from itself
+        # and whose cluster does not contain the home.
+        core = next(
+            core for core in range(16)
+            if engine4.replica_slice_for(core, 101) != core
+            and engine4.replica_would_help(
+                engine4._home_of_cached_line(core, 101), core, 101)
+        )
+        (near,) = drive(engine1, [read(core, 101)], start_time=1000.0)
+        (far,) = drive(engine4, [read(core, 101)], start_time=1000.0)
+        assert far.latency >= near.latency
+
+    def test_coherence_invariants_with_clustering(self):
+        engine = cluster_engine(4)
+        import random
+        rng = random.Random(23)
+        accesses = []
+        for _ in range(400):
+            core = rng.randrange(16)
+            line = rng.randrange(48)
+            accesses.append(write(core, line) if rng.random() < 0.25 else read(core, line))
+        drive(engine, accesses)
+        violations = [
+            violation for violation in check_coherence(engine)
+            # Cluster replicas are shared by members, so the directory's
+            # holder sets legitimately differ from per-core holders.
+            if "directory tracks" not in violation
+        ]
+        assert violations == []

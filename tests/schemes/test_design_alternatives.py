@@ -1,0 +1,196 @@
+"""The paper's discussed-but-rejected design alternatives.
+
+* Shared-only replica creation (Section 2.3.1)
+* Sparse classifier organization (Section 2.3.3)
+* Temporal Locality Hints replacement (Section 2.2.4)
+"""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.common.types import MESIState, MissStatus
+from repro.schemes.locality import LocalityAwareScheme
+from repro.schemes.snuca import SNucaScheme
+from tests.helpers import check_coherence, drive, find_replica, read, write
+
+
+def make_shared(engine, line, cores=(2, 3)):
+    drive(engine, [read(cores[0], line), read(cores[1], line)])
+
+
+def churn_l1d(engine, core, base, start=0.0):
+    lines = engine.config.l1d.lines
+    drive(engine, [read(core, base + offset) for offset in range(lines)],
+          start_time=start)
+
+
+class TestSharedOnlyStrategy:
+    """Section 2.3.1: replicas restricted to the Shared state."""
+
+    def _engine(self):
+        return LocalityAwareScheme(
+            MachineConfig.tiny(replication_threshold=1),
+            shared_only_replicas=True,
+        )
+
+    def test_shared_grant_still_replicates(self):
+        engine = self._engine()
+        make_shared(engine, 101)
+        # Two sharers exist, so core 0's read grant is SHARED -> replica.
+        drive(engine, [read(0, 101)], start_time=1000.0)
+        assert find_replica(engine, 0, 101) is not None
+        assert find_replica(engine, 0, 101).state == MESIState.SHARED
+
+    def test_write_never_creates_replica(self):
+        engine = self._engine()
+        make_shared(engine, 101)
+        drive(engine, [write(0, 101)], start_time=1000.0)
+        assert find_replica(engine, 0, 101) is None
+
+    def test_exclusive_grant_not_replicated(self):
+        """A sole reader is granted E; the simple strategy skips it."""
+        engine = self._engine()
+        make_shared(engine, 101)
+        drive(engine, [write(0, 101)], start_time=1000.0)   # clears sharers
+        churn_l1d(engine, 0, 100000, start=2000.0)          # drop L1 copy
+        drive(engine, [read(0, 101)], start_time=50000.0)   # sole sharer -> E
+        assert find_replica(engine, 0, 101) is None
+
+    def test_migratory_data_loses(self):
+        """The paper's argument for E/M replicas: migratory patterns
+        cannot be served locally under the shared-only strategy."""
+        full = LocalityAwareScheme(MachineConfig.tiny(replication_threshold=1))
+        simple = self._engine()
+        for engine in (full, simple):
+            make_shared(engine, 101)
+            drive(engine, [read(0, 101), write(0, 101)], start_time=1000.0)
+            churn_l1d(engine, 0, 100000, start=2000.0)
+        assert find_replica(full, 0, 101) is not None       # M replica
+        assert find_replica(simple, 0, 101) is None
+
+    def test_coherence_invariants(self):
+        engine = self._engine()
+        import random
+        rng = random.Random(31)
+        accesses = []
+        for _ in range(300):
+            core = rng.randrange(4)
+            line = rng.randrange(32)
+            accesses.append(write(core, line) if rng.random() < 0.3 else read(core, line))
+        drive(engine, accesses)
+        assert check_coherence(engine) == []
+
+
+class TestSparseClassifier:
+    """Section 2.3.3: decoupled side-table classifier organization."""
+
+    def _engine(self, entries=1024, rt=1):
+        config = MachineConfig.tiny(
+            replication_threshold=rt,
+            classifier_organization="sparse",
+            sparse_classifier_entries=entries,
+        )
+        return LocalityAwareScheme(config)
+
+    def test_home_entries_carry_no_state(self):
+        engine = self._engine()
+        make_shared(engine, 101)
+        home = engine._home_of_cached_line(0, 101)
+        entry = engine.slices[home].home(101)
+        assert entry.classifier is None
+
+    def test_replication_still_works(self):
+        engine = self._engine()
+        make_shared(engine, 101)
+        drive(engine, [read(0, 101)], start_time=1000.0)
+        assert find_replica(engine, 0, 101) is not None
+
+    def test_capacity_eviction_loses_state(self):
+        """With a 1-entry side table, learning one line forgets another.
+
+        Lines 101 and 105 share a home slice (and hence a side table);
+        alternating between them evicts each other's classifier state,
+        so core 0 never accumulates RT=3 reuse on either.
+        """
+        engine = self._engine(entries=1, rt=3)
+        make_shared(engine, 101)
+        make_shared(engine, 105)
+        for round_index in range(4):
+            start = 10000.0 * (round_index + 1)
+            drive(engine, [read(0, 101), read(0, 105)], start_time=start)
+            churn_l1d(engine, 0, 100000 + round_index * 1000, start=start + 500)
+        assert find_replica(engine, 0, 101) is None
+        assert find_replica(engine, 0, 105) is None
+        assert engine.stats.counters["sparse_classifier_evictions"] > 0
+
+    def test_large_table_matches_incache_decisions(self):
+        sparse = self._engine(entries=4096, rt=3)
+        incache = LocalityAwareScheme(MachineConfig.tiny(replication_threshold=3))
+        for engine in (sparse, incache):
+            make_shared(engine, 101)
+            for round_index in range(3):
+                start = 10000.0 * (round_index + 1)
+                drive(engine, [read(0, 101)], start_time=start)
+                churn_l1d(engine, 0, 100000 + round_index * 1000, start=start + 500)
+        assert (find_replica(sparse, 0, 101) is None) == \
+            (find_replica(incache, 0, 101) is None)
+
+    def test_sparse_pays_extra_directory_energy(self):
+        from repro.energy import model as events
+        sparse = self._engine()
+        incache = LocalityAwareScheme(MachineConfig.tiny(replication_threshold=1))
+        for engine in (sparse, incache):
+            make_shared(engine, 101)
+            drive(engine, [read(0, 101)], start_time=1000.0)
+        assert (
+            sparse.stats.energy_counts[events.DIR_READ]
+            > incache.stats.energy_counts[events.DIR_READ]
+        )
+
+    def test_invalid_organization_rejected(self):
+        with pytest.raises(ValueError, match="classifier_organization"):
+            MachineConfig.tiny(classifier_organization="hybrid")
+
+
+class TestTemporalLocalityHints:
+    """Section 2.2.4: the hint-message alternative to modified-LRU."""
+
+    def test_hints_sent_at_interval(self):
+        config = MachineConfig.tiny(tla_hints=True, tla_hint_interval=4)
+        engine = SNucaScheme(config)
+        drive(engine, [read(0, 5)])
+        # 8 L1 hits -> 2 hints.
+        drive(engine, [read(0, 5)] * 8, start_time=1000.0)
+        assert engine.stats.counters["tla_hints_sent"] == 2
+
+    def test_hints_generate_network_traffic(self):
+        config = MachineConfig.tiny(tla_hints=True, tla_hint_interval=2)
+        engine = SNucaScheme(config)
+        drive(engine, [read(0, 5)])
+        before = engine.mesh.messages_sent
+        drive(engine, [read(0, 5)] * 4, start_time=1000.0)
+        assert engine.mesh.messages_sent > before
+
+    def test_hint_refreshes_llc_lru(self):
+        """A hinted line outlives a non-hinted line under LLC pressure."""
+        from repro.common.params import CacheGeometry
+        config = MachineConfig.tiny(
+            tla_hints=True, tla_hint_interval=1,
+            llc_slice=CacheGeometry(sets=1, ways=2),
+        )
+        engine = SNucaScheme(config)
+        drive(engine, [read(1, 0), read(1, 4)])        # slice 0 holds 0 and 4
+        drive(engine, [read(1, 0)] * 3, start_time=1000.0)  # hints touch line 0
+        drive(engine, [read(1, 8)], start_time=2000.0)  # evicts the LRU line
+        assert engine.slices[0].home(0) is not None     # hinted line survived
+        assert engine.slices[0].home(4) is None
+
+    def test_no_hints_by_default(self):
+        engine = SNucaScheme(MachineConfig.tiny())
+        drive(engine, [read(0, 5)])
+        drive(engine, [read(0, 5)] * 20, start_time=1000.0)
+        assert engine.stats.counters.get("tla_hints_sent", 0) == 0
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError, match="tla_hint_interval"):
+            MachineConfig.tiny(tla_hint_interval=0)

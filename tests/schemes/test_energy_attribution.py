@@ -1,0 +1,65 @@
+"""Energy events land in the right components for each scheme."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.energy import model as events
+from repro.schemes.factory import make_scheme
+from tests.helpers import drive, read, write
+
+
+class TestAttribution:
+    def test_l1i_events_separate_from_l1d(self, tiny_config):
+        from repro.common.types import AccessType
+        engine = make_scheme("S-NUCA", tiny_config)
+        drive(engine, [(0, AccessType.IFETCH, 7), read(0, 5)])
+        assert engine.stats.energy_counts[events.L1I_READ] >= 1
+        assert engine.stats.energy_counts[events.L1D_READ] >= 1
+
+    def test_offchip_miss_charges_dram(self, tiny_config):
+        engine = make_scheme("S-NUCA", tiny_config)
+        drive(engine, [read(0, 5)])
+        assert engine.stats.energy_counts[events.DRAM_READ] == 1
+        assert engine.stats.energy_counts[events.LLC_DATA_WRITE] >= 1  # fill
+
+    def test_home_hit_charges_llc_and_directory(self, tiny_config):
+        engine = make_scheme("S-NUCA", tiny_config)
+        drive(engine, [read(0, 5), read(1, 5)])
+        counts = engine.stats.energy_counts
+        assert counts[events.LLC_TAG_READ] >= 2
+        assert counts[events.LLC_DATA_READ] >= 2
+        assert counts[events.DIR_READ] >= 2
+        assert counts[events.DIR_WRITE] >= 2
+
+    def test_network_counters_folded_at_finalize(self, tiny_config):
+        engine = make_scheme("S-NUCA", tiny_config)
+        drive(engine, [read(0, 5)])  # remote home -> mesh traffic
+        engine.finalize()
+        assert engine.stats.energy_counts[events.ROUTER_FLIT] > 0
+        assert engine.stats.energy_counts[events.LINK_FLIT] > 0
+        assert engine.stats.energy_counts[events.ROUTER_FLIT] == \
+            engine.mesh.router_flit_traversals
+
+    def test_replica_creation_charges_llc_write(self):
+        engine = make_scheme(
+            "Locality", MachineConfig.tiny(replication_threshold=1)
+        )
+        drive(engine, [read(2, 101), read(3, 101)])
+        writes_before = engine.stats.energy_counts[events.LLC_DATA_WRITE]
+        drive(engine, [read(0, 101)], start_time=1000.0)
+        assert engine.stats.energy_counts[events.LLC_DATA_WRITE] > writes_before
+
+    def test_local_home_access_has_no_network(self, tiny_config):
+        engine = make_scheme("S-NUCA", tiny_config)
+        drive(engine, [read(0, 4)])  # home = core 0, only DRAM traffic
+        controller = engine.dram.controller_for(4)
+        engine.finalize()
+        if controller.core_id == 0:
+            assert engine.stats.energy_counts[events.LINK_FLIT] == 0
+
+    def test_writeback_charges_dram_write(self, tiny_config):
+        from repro.common.params import CacheGeometry
+        config = MachineConfig.tiny(llc_slice=CacheGeometry(sets=1, ways=2))
+        engine = make_scheme("S-NUCA", config)
+        drive(engine, [write(1, 0), read(1, 4), read(1, 8)])
+        assert engine.stats.energy_counts[events.DRAM_WRITE] >= 1

@@ -1,0 +1,69 @@
+"""Scheme factory: figure labels map to configured engines."""
+
+import pytest
+
+from repro.schemes.asr import ASRScheme
+from repro.schemes.factory import FIGURE_SCHEMES, make_scheme, scheme_builder
+from repro.schemes.locality import LocalityAwareScheme
+from repro.schemes.rnuca import RNucaScheme
+from repro.schemes.snuca import SNucaScheme
+from repro.schemes.victim import VictimReplicationScheme
+
+
+class TestLabels:
+    def test_figure_scheme_order(self):
+        assert FIGURE_SCHEMES == ("S-NUCA", "R-NUCA", "VR", "ASR", "RT-1", "RT-3", "RT-8")
+
+    def test_snuca(self, tiny_config):
+        assert isinstance(make_scheme("S-NUCA", tiny_config), SNucaScheme)
+
+    def test_rnuca(self, tiny_config):
+        assert isinstance(make_scheme("R-NUCA", tiny_config), RNucaScheme)
+
+    def test_vr(self, tiny_config):
+        assert isinstance(make_scheme("VR", tiny_config), VictimReplicationScheme)
+
+    def test_asr_with_level(self, tiny_config):
+        engine = make_scheme("ASR", tiny_config, replication_level=0.75)
+        assert isinstance(engine, ASRScheme)
+        assert engine.replication_level == 0.75
+
+    def test_rt_labels_configure_threshold(self, tiny_config):
+        for threshold in (1, 3, 8):
+            engine = make_scheme(f"RT-{threshold}", tiny_config)
+            assert isinstance(engine, LocalityAwareScheme)
+            assert engine.config.replication_threshold == threshold
+
+    def test_rt_label_does_not_mutate_input_config(self, tiny_config):
+        make_scheme("RT-8", tiny_config)
+        assert tiny_config.replication_threshold == 3
+
+    def test_locality_label(self, tiny_config):
+        engine = make_scheme("Locality", tiny_config, oracle_lookup=True)
+        assert isinstance(engine, LocalityAwareScheme)
+        assert engine.oracle_lookup
+
+    def test_unknown_label(self, tiny_config):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            make_scheme("L2-PRIVATE", tiny_config)
+
+
+class TestBuilder:
+    def test_builder_is_reusable(self, tiny_config):
+        build = scheme_builder("RT-3")
+        first = build(tiny_config)
+        second = build(tiny_config)
+        assert first is not second
+        assert first.config.replication_threshold == 3
+
+    def test_builder_name(self):
+        assert scheme_builder("RT-3").__name__ == "build_rt_3"
+
+
+class TestSchemeNames:
+    def test_names_for_reporting(self, tiny_config):
+        assert make_scheme("S-NUCA", tiny_config).name == "S-NUCA"
+        assert make_scheme("R-NUCA", tiny_config).name == "R-NUCA"
+        assert make_scheme("VR", tiny_config).name == "VR"
+        assert make_scheme("ASR", tiny_config).name == "ASR"
+        assert make_scheme("RT-3", tiny_config).name == "Locality"

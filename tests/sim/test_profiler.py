@@ -1,0 +1,66 @@
+"""Figure 1 run-length profiler."""
+
+import pytest
+
+from repro.common.types import LineClass
+from repro.sim.profiler import (
+    RUN_LENGTH_BUCKETS,
+    RunLengthProfile,
+    bucket_label,
+    profile_run_lengths,
+)
+from repro.workloads.benchmarks import build_trace, get_profile
+
+
+class TestBucketLabel:
+    def test_buckets(self):
+        assert bucket_label(1) == "[1-2]"
+        assert bucket_label(2) == "[1-2]"
+        assert bucket_label(3) == "[3-9]"
+        assert bucket_label(9) == "[3-9]"
+        assert bucket_label(10) == "[>=10]"
+        assert bucket_label(1000) == "[>=10]"
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_label(0)
+
+    def test_bucket_table_matches_figure1(self):
+        assert [label for label, _lo, _hi in RUN_LENGTH_BUCKETS] == [
+            "[1-2]", "[3-9]", "[>=10]",
+        ]
+
+
+class TestProfiles:
+    @pytest.fixture(scope="class")
+    def barnes_profile(self, request):
+        from repro.common.params import MachineConfig
+        config = MachineConfig.small()
+        traces = build_trace(get_profile("BARNES"), config, scale=0.3, seed=3)
+        return profile_run_lengths(config, traces)
+
+    def test_fractions_sum_to_one(self, barnes_profile):
+        fractions = barnes_profile.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_barnes_dominated_by_shared_rw(self, barnes_profile):
+        """Figure 1: BARNES LLC accesses are mostly shared read-write."""
+        assert barnes_profile.class_fraction(LineClass.SHARED_RW) > 0.5
+
+    def test_barnes_has_high_reuse(self, barnes_profile):
+        """BARNES is the paper's flagship high-run-length benchmark."""
+        assert barnes_profile.high_reuse_fraction() > 0.5
+
+    def test_streaming_benchmark_has_low_reuse(self):
+        from repro.common.params import MachineConfig
+        config = MachineConfig.small()
+        traces = build_trace(get_profile("OCEAN-C"), config, scale=0.3, seed=3)
+        profile = profile_run_lengths(config, traces)
+        assert profile.high_reuse_fraction() < 0.5
+
+    def test_empty_profile(self):
+        from collections import Counter
+        profile = RunLengthProfile("EMPTY", Counter())
+        assert profile.fractions() == {}
+        assert profile.high_reuse_fraction() == 0.0
+        assert profile.class_fraction(LineClass.PRIVATE) == 0.0

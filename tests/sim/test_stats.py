@@ -1,0 +1,113 @@
+"""SimStats: counters, breakdowns and derived metrics."""
+
+import pytest
+
+from repro.common.types import MissStatus
+from repro.energy.model import EnergyModel, EnergyParams
+from repro.sim import stats as stat_names
+from repro.sim.stats import LATENCY_BUCKETS, SimStats, merge_counters
+
+
+@pytest.fixture
+def stats():
+    return SimStats(num_cores=4)
+
+
+class TestMissBreakdown:
+    def test_l1_hits_not_counted_as_misses(self, stats):
+        stats.record_miss(MissStatus.L1_HIT)
+        assert stats.l1_misses() == 0
+
+    def test_breakdown_fractions(self, stats):
+        for _ in range(6):
+            stats.record_miss(MissStatus.LLC_REPLICA_HIT)
+        for _ in range(3):
+            stats.record_miss(MissStatus.LLC_HOME_HIT)
+        stats.record_miss(MissStatus.OFF_CHIP_MISS)
+        breakdown = stats.miss_breakdown()
+        assert breakdown["LLC-Replica-Hits"] == pytest.approx(0.6)
+        assert breakdown["LLC-Home-Hits"] == pytest.approx(0.3)
+        assert breakdown["OffChip-Misses"] == pytest.approx(0.1)
+
+    def test_fractions_sum_to_one(self, stats):
+        for status in (MissStatus.LLC_REPLICA_HIT, MissStatus.LLC_HOME_HIT,
+                       MissStatus.OFF_CHIP_MISS):
+            stats.record_miss(status)
+        assert sum(stats.miss_breakdown().values()) == pytest.approx(1.0)
+
+    def test_empty_breakdown(self, stats):
+        assert sum(stats.miss_breakdown().values()) == 0.0
+
+    def test_offchip_miss_rate(self, stats):
+        stats.record_miss(MissStatus.LLC_HOME_HIT)
+        stats.record_miss(MissStatus.OFF_CHIP_MISS)
+        assert stats.offchip_miss_rate() == pytest.approx(0.5)
+
+
+class TestLatencyBuckets:
+    def test_bucket_names_match_figure7(self):
+        assert LATENCY_BUCKETS == (
+            "Compute", "L1-Hit", "L1-To-LLC-Replica", "L1-To-LLC-Home",
+            "LLC-Home-Waiting", "LLC-Home-To-Sharers", "LLC-Home-To-OffChip",
+            "Synchronization",
+        )
+
+    def test_accumulation(self, stats):
+        stats.add_latency(stat_names.COMPUTE, 10)
+        stats.add_latency(stat_names.COMPUTE, 5)
+        assert stats.latency_breakdown()["Compute"] == 15
+
+    def test_all_buckets_present(self, stats):
+        breakdown = stats.latency_breakdown()
+        assert set(breakdown) == set(LATENCY_BUCKETS)
+
+
+class TestEnergy:
+    def test_energy_uses_supplied_model(self, stats):
+        stats.energy_event("dram_read", 10)
+        cheap = EnergyModel(EnergyParams(dram_access_pj=1.0))
+        costly = EnergyModel(EnergyParams(dram_access_pj=100.0))
+        assert stats.total_energy(costly) > stats.total_energy(cheap)
+
+    def test_energy_delay_product(self, stats):
+        stats.energy_event("dram_read", 1)
+        stats.completion_time = 100.0
+        assert stats.energy_delay_product() == pytest.approx(
+            stats.total_energy() * 100.0
+        )
+
+
+class TestSummary:
+    def test_summary_keys(self, stats):
+        summary = stats.summary()
+        assert set(summary) == {
+            "completion_time", "energy_pj", "l1_misses",
+            "replica_hit_fraction", "offchip_miss_rate",
+        }
+
+
+class TestMergeCounters:
+    def test_merge(self):
+        merged = merge_counters({"a": 1, "b": 2}, {"b": 3, "c": 4})
+        assert merged == {"a": 1, "b": 5, "c": 4}
+
+
+class TestSerialization:
+    def test_to_dict_is_json_serializable(self, stats):
+        import json
+        stats.record_miss(MissStatus.LLC_HOME_HIT)
+        stats.energy_event("dram_read", 2)
+        stats.add_latency(stat_names.COMPUTE, 12)
+        stats.completion_time = 42.0
+        dump = stats.to_dict()
+        text = json.dumps(dump)
+        assert "LLC_HOME_HIT" in text
+
+    def test_to_dict_contents(self, stats):
+        stats.record_miss(MissStatus.OFF_CHIP_MISS)
+        stats.completion_time = 10.0
+        dump = stats.to_dict()
+        assert dump["completion_time"] == 10.0
+        assert dump["miss_status"]["OFF_CHIP_MISS"] == 1
+        assert set(dump["latency_breakdown"]) == set(LATENCY_BUCKETS)
+        assert dump["summary"]["completion_time"] == 10.0

@@ -1,0 +1,153 @@
+"""Benchmark catalog and trace building."""
+
+import numpy as np
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.common.types import AccessType, LineClass
+from repro.workloads.benchmarks import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    BenchmarkProfile,
+    build_trace,
+    get_profile,
+)
+
+
+class TestCatalog:
+    def test_twenty_one_benchmarks(self):
+        """Table 2 lists exactly 21 applications."""
+        assert len(BENCHMARKS) == 21
+        assert len(BENCHMARK_ORDER) == 21
+
+    def test_order_covers_catalog(self):
+        assert set(BENCHMARK_ORDER) == set(BENCHMARKS)
+
+    def test_paper_inputs_recorded(self):
+        assert BENCHMARKS["RADIX"].paper_input == "4M integers, radix 1024"
+        assert BENCHMARKS["BARNES"].paper_input == "64K particles"
+        assert BENCHMARKS["DEDUP"].paper_input == "31 MB data"
+
+    def test_mix_fractions_sum_to_one(self):
+        for profile in BENCHMARKS.values():
+            total = (
+                profile.f_ifetch + profile.f_private + profile.f_shared_ro
+                + profile.f_shared_rw + profile.f_migratory
+            )
+            assert total == pytest.approx(1.0, abs=0.01), profile.name
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("SPECJBB")
+
+    def test_paper_narrative_knobs(self):
+        """Spot-check the catalog against the paper's descriptions."""
+        assert BENCHMARKS["BARNES"].f_shared_rw >= 0.75       # Fig. 1
+        assert BENCHMARKS["LU-NC"].f_migratory > 0            # migratory
+        assert BENCHMARKS["BLACKSCHOLES"].false_sharing       # page-level FS
+        assert BENCHMARKS["DEDUP"].f_private >= 0.85          # private-heavy
+        assert BENCHMARKS["BODYTRACK"].instr_ws_x_l1i > 1.0   # I-MPKI
+        assert BENCHMARKS["FACESIM"].instr_ws_x_l1i > 1.0
+        assert BENCHMARKS["RAYTRACE"].instr_ws_x_l1i > 1.0
+        assert BENCHMARKS["OCEAN-C"].shared_rw_ws_x_llc > 1.0  # off-chip bound
+        assert BENCHMARKS["FLUIDANIMATE"].shared_rw_ws_x_llc > 1.0
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError, match="fractions sum"):
+            BenchmarkProfile(name="BAD", description="", f_private=0.9,
+                             f_ifetch=0.5, f_shared_ro=0.0, f_shared_rw=0.0)
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(ValueError, match="pattern"):
+            BenchmarkProfile(name="BAD", description="",
+                             private_pattern="random-walk")
+
+
+class TestTraceBuilding:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return MachineConfig.small()
+
+    @pytest.fixture(scope="class")
+    def barnes(self, config):
+        return build_trace(get_profile("BARNES"), config, scale=0.2, seed=7)
+
+    def test_one_trace_per_core(self, barnes, config):
+        assert barnes.num_cores == config.num_cores
+
+    def test_scale_controls_length(self, config):
+        profile = get_profile("DEDUP")
+        short = build_trace(profile, config, scale=0.1, seed=1)
+        longer = build_trace(profile, config, scale=0.2, seed=1)
+        assert len(longer.cores[0]) > len(short.cores[0])
+
+    def test_deterministic_for_seed(self, config):
+        profile = get_profile("BARNES")
+        first = build_trace(profile, config, scale=0.1, seed=5)
+        second = build_trace(profile, config, scale=0.1, seed=5)
+        for trace_a, trace_b in zip(first.cores, second.cores):
+            assert np.array_equal(trace_a.lines, trace_b.lines)
+            assert np.array_equal(trace_a.types, trace_b.types)
+
+    def test_different_seeds_differ(self, config):
+        profile = get_profile("BARNES")
+        first = build_trace(profile, config, scale=0.1, seed=5)
+        second = build_trace(profile, config, scale=0.1, seed=6)
+        assert not np.array_equal(first.cores[0].lines, second.cores[0].lines)
+
+    def test_every_line_classifiable(self, barnes):
+        for trace in barnes.cores[:4]:
+            for line, atype in zip(trace.lines[:200], trace.types[:200]):
+                if atype == AccessType.BARRIER:
+                    continue
+                barnes.classify(int(line))  # must not raise
+
+    def test_ifetch_lines_are_instruction_class(self, barnes):
+        trace = barnes.cores[0]
+        ifetch_mask = trace.types == AccessType.IFETCH
+        assert ifetch_mask.any()
+        for line in trace.lines[ifetch_mask][:50]:
+            assert barnes.classify(int(line)) == LineClass.INSTRUCTION
+
+    def test_barrier_counts_equal(self, barnes):
+        counts = {trace.barrier_count() for trace in barnes.cores}
+        assert len(counts) == 1
+        assert counts.pop() == get_profile("BARNES").barriers
+
+    def test_writes_only_on_writable_classes(self, barnes):
+        trace = barnes.cores[0]
+        write_mask = trace.types == AccessType.WRITE
+        for line in trace.lines[write_mask][:100]:
+            line_class = barnes.classify(int(line))
+            assert line_class in (LineClass.PRIVATE, LineClass.SHARED_RW)
+
+    def test_false_sharing_layout(self, config):
+        """BLACKSCHOLES private regions straddle page boundaries."""
+        traces = build_trace(get_profile("BLACKSCHOLES"), config, scale=0.05, seed=1)
+        private_regions = [
+            region for region, cls in traces.regions if cls == LineClass.PRIVATE
+        ]
+        lines_per_page = config.lines_per_page
+        unaligned = sum(1 for region in private_regions
+                        if region.base % lines_per_page)
+        assert unaligned > 0
+
+    def test_aligned_layout_elsewhere(self, config):
+        traces = build_trace(get_profile("DEDUP"), config, scale=0.05, seed=1)
+        private_regions = [
+            region for region, cls in traces.regions if cls == LineClass.PRIVATE
+        ]
+        assert all(region.base % config.lines_per_page == 0
+                   for region in private_regions)
+
+    def test_migratory_region_present_for_lu_nc(self, config):
+        traces = build_trace(get_profile("LU-NC"), config, scale=0.05, seed=1)
+        shared_rw_regions = [
+            region for region, cls in traces.regions if cls == LineClass.SHARED_RW
+        ]
+        # LU-NC allocates the plain shared-RW region plus the migratory one.
+        assert len(shared_rw_regions) == 2
+
+    def test_rejects_bad_scale(self, config):
+        with pytest.raises(ValueError):
+            build_trace(get_profile("BARNES"), config, scale=0.0, seed=1)

@@ -1,0 +1,170 @@
+"""Synthetic access-pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.addr import Region
+from repro.common.types import AccessType
+from repro.workloads.generators import (
+    ComponentStream,
+    compute_gaps,
+    interleave_components,
+    loop_component,
+    migratory_component,
+    stream_component,
+    zipf_component,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+REGION = Region(base=1000, size=64)
+
+
+class TestLoopComponent:
+    def test_addresses_stay_in_region(self, rng):
+        component = loop_component(REGION, 200, rng)
+        addresses, _ = component.take(200)
+        assert addresses.min() >= REGION.base
+        assert addresses.max() < REGION.end
+
+    def test_cyclic_sweep(self, rng):
+        component = loop_component(REGION, 128, rng)
+        addresses, _ = component.take(128)
+        # Two full sweeps: each line touched exactly twice.
+        unique, counts = np.unique(addresses, return_counts=True)
+        assert len(unique) == 64
+        assert (counts == 2).all()
+
+    def test_phase_offsets_start(self, rng):
+        component = loop_component(REGION, 10, rng, phase=5)
+        addresses, _ = component.take(1)
+        assert addresses[0] == REGION.base + 5
+
+    def test_ifetch_types(self, rng):
+        component = loop_component(REGION, 10, rng, ifetch=True)
+        _, types = component.take(10)
+        assert (types == AccessType.IFETCH).all()
+
+    def test_ifetch_cannot_write(self, rng):
+        with pytest.raises(ValueError):
+            loop_component(REGION, 10, rng, write_frac=0.5, ifetch=True)
+
+    def test_write_fraction_respected(self, rng):
+        component = loop_component(REGION, 4000, rng, write_frac=0.25)
+        _, types = component.take(4000)
+        write_fraction = (types == AccessType.WRITE).mean()
+        assert 0.2 < write_fraction < 0.3
+
+
+class TestZipfComponent:
+    def test_skew_concentrates_on_low_lines(self, rng):
+        component = zipf_component(REGION, 8000, rng, skew=3.0)
+        addresses, _ = component.take(8000)
+        offsets = addresses - REGION.base
+        # With skew 3, the bottom quarter draws most accesses.
+        assert (offsets < 16).mean() > 0.5
+
+    def test_addresses_in_region(self, rng):
+        component = zipf_component(REGION, 1000, rng, skew=2.0)
+        addresses, _ = component.take(1000)
+        assert addresses.min() >= REGION.base
+        assert addresses.max() < REGION.end
+
+    def test_invalid_skew(self, rng):
+        with pytest.raises(ValueError):
+            zipf_component(REGION, 10, rng, skew=0.0)
+
+
+class TestStreamComponent:
+    def test_single_pass_touches_each_line_once(self, rng):
+        component = stream_component(REGION, 64, rng)
+        addresses, _ = component.take(64)
+        assert len(np.unique(addresses)) == 64
+
+
+class TestMigratoryComponent:
+    def test_alternating_read_write(self, rng):
+        region = Region(0, 4 * 8)
+        component = migratory_component(region, 100, rng, core=0, num_cores=4,
+                                        window_lines=8)
+        _, types = component.take(100)
+        assert (types[0::2] == AccessType.READ).all()
+        assert (types[1::2] == AccessType.WRITE).all()
+
+    def test_windows_disjoint_across_cores(self, rng):
+        region = Region(0, 4 * 8)
+        epoch_len = 8 * 5 * 2
+        streams = [
+            migratory_component(region, epoch_len, np.random.default_rng(1),
+                                core=core, num_cores=4, window_lines=8)
+            for core in range(4)
+        ]
+        footprints = []
+        for stream in streams:
+            addresses, _ = stream.take(epoch_len)
+            footprints.append(set(addresses.tolist()))
+        for index, first in enumerate(footprints):
+            for second in footprints[index + 1:]:
+                assert not first & second
+
+    def test_ownership_rotates_between_epochs(self, rng):
+        region = Region(0, 4 * 8)
+        epoch_len = 8 * 5 * 2
+        component = migratory_component(region, epoch_len * 2, rng, core=0,
+                                        num_cores=4, window_lines=8)
+        addresses, _ = component.take(epoch_len * 2)
+        first_epoch = set(addresses[:epoch_len].tolist())
+        second_epoch = set(addresses[epoch_len:].tolist())
+        assert first_epoch != second_epoch
+
+    def test_region_too_small_rejected(self, rng):
+        with pytest.raises(ValueError, match="too small"):
+            migratory_component(Region(0, 8), 100, rng, core=0, num_cores=4,
+                                window_lines=8)
+
+
+class TestInterleaving:
+    def test_fractions_respected(self, rng):
+        region_a, region_b = Region(0, 16), Region(1000, 16)
+        components = [
+            loop_component(region_a, 4000, rng),
+            loop_component(region_b, 4000, rng),
+        ]
+        types, lines = interleave_components(components, [0.75, 0.25], 4000, rng)
+        fraction_a = (lines < 1000).mean()
+        assert 0.70 < fraction_a < 0.80
+
+    def test_length(self, rng):
+        components = [loop_component(REGION, 100, rng)]
+        types, lines = interleave_components(components, [1.0], 100, rng)
+        assert len(types) == len(lines) == 100
+
+    def test_mismatched_fractions_rejected(self, rng):
+        components = [loop_component(REGION, 10, rng)]
+        with pytest.raises(ValueError):
+            interleave_components(components, [0.5, 0.5], 10, rng)
+
+    def test_component_wraps_when_exhausted(self, rng):
+        component = ComponentStream(
+            np.array([1, 2, 3]), np.zeros(3, dtype=np.uint8)
+        )
+        addresses, _ = component.take(7)
+        assert addresses.tolist() == [1, 2, 3, 1, 2, 3, 1]
+
+
+class TestComputeGaps:
+    def test_mean_close_to_target(self, rng):
+        gaps = compute_gaps(20000, rng, mean_gap=3.0)
+        assert 2.5 < gaps.mean() < 3.5
+
+    def test_zero_mean_gap(self, rng):
+        gaps = compute_gaps(100, rng, mean_gap=0.0)
+        assert (gaps == 0).all()
+
+    def test_gaps_bounded(self, rng):
+        gaps = compute_gaps(10000, rng, mean_gap=5.0)
+        assert gaps.max() <= 64

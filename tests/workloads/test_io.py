@@ -1,0 +1,61 @@
+"""Trace persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.workloads.benchmarks import build_trace, get_profile
+from repro.workloads.io import FORMAT_VERSION, load_trace_set, save_trace_set
+
+
+@pytest.fixture
+def traces():
+    return build_trace(get_profile("BARNES"), MachineConfig.tiny(), scale=0.05, seed=3)
+
+
+class TestRoundTrip:
+    def test_arrays_identical(self, traces, tmp_path):
+        path = save_trace_set(traces, tmp_path / "barnes.npz")
+        loaded = load_trace_set(path)
+        assert loaded.num_cores == traces.num_cores
+        for original, restored in zip(traces.cores, loaded.cores):
+            assert np.array_equal(original.types, restored.types)
+            assert np.array_equal(original.lines, restored.lines)
+            assert np.array_equal(original.gaps, restored.gaps)
+
+    def test_regions_preserved(self, traces, tmp_path):
+        path = save_trace_set(traces, tmp_path / "barnes.npz")
+        loaded = load_trace_set(path)
+        assert loaded.regions == traces.regions
+        assert loaded.name == traces.name
+
+    def test_classification_survives(self, traces, tmp_path):
+        path = save_trace_set(traces, tmp_path / "barnes.npz")
+        loaded = load_trace_set(path)
+        sample_line = int(traces.cores[0].lines[0])
+        assert loaded.classify(sample_line) == traces.classify(sample_line)
+
+    def test_suffix_added_when_missing(self, traces, tmp_path):
+        path = save_trace_set(traces, tmp_path / "barnes")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_loaded_traces_simulate_identically(self, traces, tmp_path):
+        from repro.schemes.factory import make_scheme
+        from repro.sim.simulator import simulate
+        config = MachineConfig.tiny()
+        path = save_trace_set(traces, tmp_path / "barnes.npz")
+        loaded = load_trace_set(path)
+        original_stats = simulate(make_scheme("RT-3", config), traces)
+        loaded_stats = simulate(make_scheme("RT-3", config), loaded)
+        assert original_stats.completion_time == loaded_stats.completion_time
+        assert original_stats.counters == loaded_stats.counters
+
+
+class TestVersioning:
+    def test_version_mismatch_rejected(self, traces, tmp_path, monkeypatch):
+        import repro.workloads.io as trace_io
+        path = save_trace_set(traces, tmp_path / "barnes.npz")
+        monkeypatch.setattr(trace_io, "FORMAT_VERSION", FORMAT_VERSION + 1)
+        with pytest.raises(ValueError, match="version"):
+            trace_io.load_trace_set(path)

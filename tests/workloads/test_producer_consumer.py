@@ -1,0 +1,35 @@
+"""Producer-consumer generator (exported for custom workload builders)."""
+
+import numpy as np
+import pytest
+
+from repro.common.addr import Region
+from repro.common.types import AccessType
+from repro.workloads.generators import producer_consumer_component
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestProducerConsumer:
+    def test_producer_mostly_writes(self, rng):
+        region = Region(0, 8)
+        component = producer_consumer_component(region, 2000, rng, core=0, num_cores=4)
+        _, types = component.take(2000)
+        write_fraction = (types == AccessType.WRITE).mean()
+        assert write_fraction > 0.5
+
+    def test_consumers_only_read(self, rng):
+        region = Region(0, 8)
+        component = producer_consumer_component(region, 500, rng, core=2, num_cores=4)
+        _, types = component.take(500)
+        assert (types == AccessType.READ).all()
+
+    def test_addresses_in_mailbox(self, rng):
+        region = Region(100, 8)
+        component = producer_consumer_component(region, 500, rng, core=1, num_cores=4)
+        addresses, _ = component.take(500)
+        assert addresses.min() >= 100
+        assert addresses.max() < 108
