@@ -182,7 +182,7 @@ class CompleteClassifier(LocalityClassifier):
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class TrackedCore:
     """One slot of the limited locality list (Figure 5)."""
 

@@ -18,6 +18,8 @@ Options::
     --scale FLOAT             trace-length multiplier (default: 1.0)
     --seed INT                workload seed (default: 1)
     --benchmarks A,B,C        restrict the benchmark list
+    --kernel {reference,fast} simulation kernel (default: fast; both are
+                              differentially verified bit-identical)
 
 The default ``small`` machine (16 cores, scaled caches) regenerates the
 full figure suite in minutes; ``paper`` uses the Table 1 configuration
@@ -34,6 +36,7 @@ from repro.common.params import MachineConfig
 from repro.experiments import ablations, comparison, fig1_runlength, fig9_limitedk
 from repro.experiments import fig10_cluster, rt_sweep, storage, summary, tables
 from repro.experiments.runner import ExperimentSetup
+from repro.sim.kernel import kernel_names
 
 COMMANDS = (
     "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "rt-sweep",
@@ -56,12 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--parallel", type=int, default=0, metavar="N",
                         help="run the comparison matrix on N worker "
                              "processes (0 = sequential)")
+    parser.add_argument("--kernel", choices=tuple(kernel_names()), default=None,
+                        help="simulation kernel (default: fast; both kernels "
+                             "are differentially verified bit-identical)")
     return parser
 
 
 def make_setup(args: argparse.Namespace) -> ExperimentSetup:
     config = MachineConfig.paper() if args.machine == "paper" else MachineConfig.small()
-    return ExperimentSetup(config, scale=args.scale, seed=args.seed)
+    return ExperimentSetup(config, scale=args.scale, seed=args.seed, kernel=args.kernel)
 
 
 def main(argv: list[str] | None = None) -> int:

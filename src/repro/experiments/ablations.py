@@ -49,6 +49,7 @@ def run_replacement_ablation(
             config=setup.config.with_overrides(llc_modified_lru=False),
         )
         results[benchmark] = {"modified_lru": modified, "lru": plain}
+        setup.release_decoded(benchmark)
     return results
 
 
@@ -78,6 +79,7 @@ def run_oracle_ablation(
         probe = run_one(setup, "RT-3", benchmark)
         oracle = run_one(setup, "RT-3", benchmark, oracle_lookup=True)
         results[benchmark] = {"probe": probe, "oracle": oracle}
+        setup.release_decoded(benchmark)
     return results
 
 
@@ -122,6 +124,7 @@ def run_tla_ablation(
                 config=setup.config.with_overrides(tla_hints=True),
             ),
         }
+        setup.release_decoded(benchmark)
     return results
 
 
@@ -163,6 +166,7 @@ def run_replica_strategy_ablation(
                 setup, "RT-3", benchmark, shared_only_replicas=True
             ),
         }
+        setup.release_decoded(benchmark)
     return results
 
 
@@ -214,6 +218,7 @@ def run_classifier_organization_ablation(
                 setup, "RT-3", benchmark, config=config
             )
         results[benchmark] = row
+        setup.release_decoded(benchmark)
     return results
 
 

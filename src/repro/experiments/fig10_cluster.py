@@ -51,6 +51,7 @@ def run_fig10(
             )
             row[f"C-{size}"] = run_one(setup, "Locality", benchmark, config=config)
         results[benchmark] = row
+        setup.release_decoded(benchmark)
     return results
 
 

@@ -25,7 +25,10 @@ def run_fig1(
     profiles: dict[str, RunLengthProfile] = {}
     for benchmark in bench_list:
         traces = setup.trace_for(benchmark)
-        profiles[benchmark] = profile_run_lengths(setup.config, traces)
+        profiles[benchmark] = profile_run_lengths(
+            setup.config, traces, kernel=setup.kernel
+        )
+        setup.release_decoded(benchmark)
     return profiles
 
 

@@ -51,6 +51,7 @@ def run_fig9(
                 setup, "Locality", benchmark, config=config
             )
         results[benchmark] = row
+        setup.release_decoded(benchmark)
     return results
 
 

@@ -30,6 +30,8 @@ class RunSpec:
     seed: int
     #: Extra scheme-constructor arguments (must be picklable).
     scheme_kwargs: tuple = ()
+    #: Simulation kernel selection (None → environment → default).
+    kernel: str | None = None
 
     def kwargs(self) -> dict:
         return dict(self.scheme_kwargs)
@@ -37,7 +39,9 @@ class RunSpec:
 
 def _execute(spec: RunSpec) -> RunResult:
     """Worker entry point: rebuild the setup and run one simulation."""
-    setup = ExperimentSetup(spec.config, scale=spec.scale, seed=spec.seed)
+    setup = ExperimentSetup(
+        spec.config, scale=spec.scale, seed=spec.seed, kernel=spec.kernel
+    )
     kwargs = spec.kwargs()
     result = run_one(setup, spec.scheme, spec.benchmark, **kwargs)
     if spec.scheme == "ASR" and "replication_level" in kwargs:
@@ -84,10 +88,12 @@ def run_matrix_parallel(
                     specs.append(RunSpec(
                         scheme, benchmark, setup.config, setup.scale, setup.seed,
                         scheme_kwargs=(("replication_level", level),),
+                        kernel=setup.kernel,
                     ))
             else:
                 specs.append(RunSpec(
                     scheme, benchmark, setup.config, setup.scale, setup.seed,
+                    kernel=setup.kernel,
                 ))
     results = run_specs(specs, max_workers=max_workers)
 

@@ -35,6 +35,7 @@ def run_rt_sweep(
         for rt in rt_values:
             row[rt] = run_one(setup, f"RT-{rt}", benchmark)
         results[benchmark] = row
+        setup.release_decoded(benchmark)
     return results
 
 

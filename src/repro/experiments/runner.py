@@ -52,6 +52,10 @@ class ExperimentSetup:
     scale: float = 1.0
     seed: int = 1
     asr_levels: tuple[float, ...] = ASRScheme.LEVELS
+    #: Simulation kernel name (None → REPRO_SIM_KERNEL env var → "fast").
+    #: Both kernels are differentially verified bit-identical, so this
+    #: only trades speed, never results.
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         self._trace_cache: dict[str, TraceSet] = {}
@@ -62,6 +66,17 @@ class ExperimentSetup:
             trace = build_trace(get_profile(benchmark), self.config, self.scale, self.seed)
             self._trace_cache[benchmark] = trace
         return trace
+
+    def release_decoded(self, benchmark: str) -> None:
+        """Free ``benchmark``'s decoded hot-loop views (kept: the TraceSet).
+
+        Experiment loops call this after finishing a benchmark's batch of
+        runs: the fast kernel's decoded views are boxed-Python copies of
+        the trace arrays, pure dead weight once the batch is done.
+        """
+        trace = self._trace_cache.get(benchmark)
+        if trace is not None:
+            trace.release_decoded()
 
     @classmethod
     def small(cls, scale: float = 1.0, seed: int = 1, **config_overrides) -> "ExperimentSetup":
@@ -90,7 +105,7 @@ def run_one(
         return run_asr_best(setup, benchmark, machine_config)
     traces = setup.trace_for(benchmark)
     engine = make_scheme(scheme_label, machine_config, **scheme_kwargs)
-    stats = simulate(engine, traces)
+    stats = simulate(engine, traces, kernel=setup.kernel)
     breakdown = stats.energy_breakdown(engine.energy_model())
     return RunResult(scheme_label, benchmark, stats, breakdown)
 
@@ -105,7 +120,7 @@ def run_asr_best(
     best_edp = float("inf")
     for level in setup.asr_levels:
         engine = make_scheme("ASR", machine_config, replication_level=level)
-        stats = simulate(engine, traces)
+        stats = simulate(engine, traces, kernel=setup.kernel)
         breakdown = stats.energy_breakdown(engine.energy_model())
         energy = sum(breakdown.values())
         edp = energy * stats.completion_time
@@ -126,10 +141,12 @@ def run_matrix(
     Returns ``results[benchmark][scheme]``.
     """
     bench_list = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
+    scheme_list = list(schemes)
     results: dict[str, dict[str, RunResult]] = {}
     for benchmark in bench_list:
         row: dict[str, RunResult] = {}
-        for scheme in schemes:
+        for scheme in scheme_list:
             row[scheme] = run_one(setup, scheme, benchmark)
         results[benchmark] = row
+        setup.release_decoded(benchmark)
     return results

@@ -45,7 +45,7 @@ from repro.sim import stats as stat_names
 from repro.sim.stats import SimStats
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class AccessResult:
     """Outcome of one memory access."""
 
@@ -57,7 +57,7 @@ class AccessResult:
     dirty: bool = False
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class LocalHit:
     """Outcome of a successful local (replica) lookup."""
 
@@ -233,6 +233,78 @@ class ProtocolEngine:
         total = result.latency + self.config.l1_latency
         self.stats.add_latency(stat_names.L1_HIT_TIME, self.config.l1_latency)
         return AccessResult(total, result.status, result.state)
+
+    def make_fast_access(self):
+        """Specialized access entry point for the fast simulation kernel.
+
+        Returns a closure with the semantics of :meth:`access` but with
+        every per-call attribute lookup pre-bound and the result reduced
+        to the latency scalar the event loop actually consumes (the stats
+        side effects are identical — the differential harness in
+        :mod:`repro.testing` enforces this).  Returns ``None`` when
+        :meth:`access` or :meth:`_l1_energy` (the two methods the closure
+        inlines) is overridden — on the subclass or as an instance
+        attribute — so the kernel falls back to the generic path instead
+        of silently bypassing the override.  The other helpers the
+        closure uses (:meth:`_handle_l1_miss`, :meth:`_fill_l1`,
+        :meth:`_maybe_send_tla_hint`) are captured as bound methods, so
+        their overrides are honored without a guard.
+        """
+        if (
+            "access" in self.__dict__
+            or "_l1_energy" in self.__dict__
+            or type(self).access is not ProtocolEngine.access
+            or type(self)._l1_energy is not ProtocolEngine._l1_energy
+        ):
+            return None
+        config = self.config
+        l1_latency = config.l1_latency
+        tla_hints = config.tla_hints
+        send_tla_hint = self._maybe_send_tla_hint
+        l1i = self.l1i
+        l1d = self.l1d
+        stats = self.stats
+        counters = stats.counters
+        latency_buckets = stats.latency
+        miss_status = stats.miss_status
+        energy_counts = stats.energy_counts
+        handle_l1_miss = self._handle_l1_miss
+        fill_l1 = self._fill_l1
+        IFETCH = AccessType.IFETCH
+        WRITE = AccessType.WRITE
+        MODIFIED = MESIState.MODIFIED
+        L1_HIT = MissStatus.L1_HIT
+        L1_HIT_TIME = stat_names.L1_HIT_TIME
+        L1I_READ = energy_events.L1I_READ
+        L1D_READ = energy_events.L1D_READ
+        L1I_WRITE = energy_events.L1I_WRITE
+        L1D_WRITE = energy_events.L1D_WRITE
+
+        def fast_access(core: int, atype: AccessType, line_addr: int, now: float) -> float:
+            is_ifetch = atype is IFETCH
+            write = atype is WRITE
+            l1 = (l1i if is_ifetch else l1d)[core]
+            energy_counts[L1I_READ if is_ifetch else L1D_READ] += 1
+            entry = l1.probe_hit(line_addr, write)
+            if entry is not None:
+                if write:
+                    entry.state = MODIFIED
+                    entry.dirty = True
+                    energy_counts[L1I_WRITE if is_ifetch else L1D_WRITE] += 1
+                miss_status[L1_HIT] += 1
+                latency_buckets[L1_HIT_TIME] += l1_latency
+                counters["l1i_hits" if is_ifetch else "l1d_hits"] += 1
+                if tla_hints:
+                    send_tla_hint(core, line_addr, is_ifetch, now)
+                return l1_latency
+            counters["l1i_misses" if is_ifetch else "l1d_misses"] += 1
+            result = handle_l1_miss(core, line_addr, write, is_ifetch, now)
+            fill_l1(core, line_addr, result.state, write, is_ifetch, now, dirty=result.dirty)
+            miss_status[result.status] += 1
+            latency_buckets[L1_HIT_TIME] += l1_latency
+            return result.latency + l1_latency
+
+        return fast_access
 
     # ------------------------------------------------------------------
     # Miss handling

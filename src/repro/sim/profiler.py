@@ -113,10 +113,12 @@ class _RunLengthObserver(ProtocolObserver):
         self.open_runs.clear()
 
 
-def profile_run_lengths(config: MachineConfig, traces: TraceSet) -> RunLengthProfile:
+def profile_run_lengths(
+    config: MachineConfig, traces: TraceSet, kernel: str | None = None
+) -> RunLengthProfile:
     """Run the Figure 1 profiler over one benchmark trace."""
     observer = _RunLengthObserver(traces)
     engine = SNucaScheme(config, observer)
-    simulate(engine, traces)
+    simulate(engine, traces, kernel=kernel)
     observer.finish()
     return RunLengthProfile(traces.name, observer.mass)

@@ -1,4 +1,4 @@
-"""Trace-driven simulation loop.
+"""Trace-driven simulation entry point.
 
 Cores are in-order and single-issue (Table 1): each core processes its
 trace sequentially, spending the record's compute gap and then the full
@@ -12,88 +12,51 @@ completion-time breakdown: a core reaching a barrier parks until every
 *running* core has arrived, and its wait is charged to the
 Synchronization bucket.  :class:`~repro.workloads.trace.TraceSet`
 guarantees all cores carry the same number of barriers.
+
+The event loop itself is pluggable (:mod:`repro.sim.kernel`): the
+``reference`` kernel is the simple per-record baseline, the ``fast``
+kernel is the hoisted/run-ahead hot path, and both are bit-identical —
+an equivalence the :mod:`repro.testing` differential harness enforces.
+Select a kernel per call (``simulate(..., kernel="reference")``), per
+process (``REPRO_SIM_KERNEL=reference``), or via the experiment CLI
+(``python -m repro.experiments --kernel reference ...``).
 """
 
 from __future__ import annotations
 
-import heapq
-
-from repro.common.types import AccessType
 from repro.schemes.base import ProtocolEngine
-from repro.sim import stats as stat_names
+from repro.sim.kernel import (  # noqa: F401  (re-exported for convenience)
+    DEFAULT_KERNEL,
+    KERNELS,
+    FastKernel,
+    ReferenceKernel,
+    SimulationKernel,
+    resolve_kernel,
+)
 from repro.sim.stats import SimStats
 from repro.workloads.trace import TraceSet
 
 
-def simulate(engine: ProtocolEngine, traces: TraceSet) -> SimStats:
-    """Run ``traces`` through ``engine`` and return the collected stats."""
+def simulate(
+    engine: ProtocolEngine,
+    traces: TraceSet,
+    kernel: str | SimulationKernel | None = None,
+) -> SimStats:
+    """Run ``traces`` through ``engine`` and return the collected stats.
+
+    ``kernel`` selects the event-loop implementation by name
+    (``"fast"``/``"reference"``), instance, or class; ``None`` uses the
+    ``REPRO_SIM_KERNEL`` environment variable, defaulting to the fast
+    kernel.
+    """
     config = engine.config
     if traces.num_cores != config.num_cores:
         raise ValueError(
             f"trace has {traces.num_cores} cores but machine has {config.num_cores}"
         )
-    state = _SimulationState(engine, traces)
-    state.run()
+    traces.validate_coverage()
+    resolve_kernel(kernel).run(engine, traces)
     engine.finalize()
     stats = engine.stats
     stats.completion_time = max(stats.core_finish) if stats.core_finish else 0.0
     return stats
-
-
-class _SimulationState:
-    """Mutable bookkeeping for one simulation run."""
-
-    def __init__(self, engine: ProtocolEngine, traces: TraceSet) -> None:
-        self.engine = engine
-        self.traces = traces
-        self.stats: SimStats = engine.stats
-        self.num_cores = engine.config.num_cores
-        self.positions = [0] * self.num_cores
-        self.lengths = [len(trace) for trace in traces.cores]
-        #: Cores parked at a barrier: core -> arrival time.
-        self.waiting: dict[int, float] = {}
-        self.finished: set[int] = set()
-        self.ready: list[tuple[float, int]] = [
-            (0.0, core) for core in range(self.num_cores)
-        ]
-        heapq.heapify(self.ready)
-
-    def run(self) -> None:
-        while self.ready:
-            now, core = heapq.heappop(self.ready)
-            self._step(core, now)
-
-    def _step(self, core: int, now: float) -> None:
-        index = self.positions[core]
-        if index >= self.lengths[core]:
-            self.finished.add(core)
-            self.stats.core_finish[core] = now
-            self._maybe_release_barrier()
-            return
-        trace = self.traces.cores[core]
-        self.positions[core] = index + 1
-        if trace.types[index] == AccessType.BARRIER:
-            self.waiting[core] = now
-            self._maybe_release_barrier()
-            return
-        gap = float(trace.gaps[index])
-        if gap:
-            self.stats.add_latency(stat_names.COMPUTE, gap)
-        issue_time = now + gap
-        atype = AccessType(trace.types[index])
-        result = self.engine.access(core, atype, int(trace.lines[index]), issue_time)
-        heapq.heappush(self.ready, (issue_time + result.latency, core))
-
-    def _maybe_release_barrier(self) -> None:
-        """Release parked cores once every running core has arrived."""
-        if not self.waiting:
-            return
-        if len(self.waiting) + len(self.finished) < self.num_cores:
-            return
-        release_time = max(self.waiting.values())
-        for core, arrival in self.waiting.items():
-            wait = release_time - arrival
-            if wait:
-                self.stats.add_latency(stat_names.SYNCHRONIZATION, wait)
-            heapq.heappush(self.ready, (release_time, core))
-        self.waiting.clear()

@@ -1,0 +1,173 @@
+"""Differential kernel verification.
+
+The fast simulation kernel claims bit-identical results to the reference
+loop.  This module makes that claim testable: build the same engine
+twice, run the same traces through each kernel, and diff every field of
+the resulting :class:`~repro.sim.stats.SimStats`.  A non-empty diff is a
+kernel bug by definition — there is no tolerance, because every batched
+floating-point accumulation in the fast kernel is a sum of
+integer-valued cycle counts (order-independent), and event order itself
+is preserved exactly.
+
+Typical use::
+
+    from repro.testing import verify_kernels
+
+    verify_kernels(lambda: make_scheme("RT-3", config), traces)
+
+``verify_kernels`` raises :class:`DifferentialMismatch` with a readable
+field-by-field report on any divergence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Mapping
+
+from repro.schemes.base import ProtocolEngine
+from repro.sim.simulator import simulate
+from repro.sim.stats import SimStats
+from repro.workloads.trace import TraceSet
+
+#: The Counter-valued SimStats sections diffed key-by-key.
+_COUNTER_SECTIONS = ("counters", "energy_counts", "latency", "miss_status")
+
+
+@dataclasses.dataclass(frozen=True)
+class StatsDiff:
+    """One divergent measurement between two runs."""
+
+    section: str
+    key: str
+    reference: object
+    candidate: object
+
+    def __str__(self) -> str:
+        return (
+            f"{self.section}[{self.key}]: "
+            f"reference={self.reference!r} candidate={self.candidate!r}"
+        )
+
+
+class DifferentialMismatch(AssertionError):
+    """Two kernels disagreed on the statistics of the same simulation."""
+
+    def __init__(self, diffs: list[StatsDiff], context: str = "") -> None:
+        self.diffs = diffs
+        header = f"kernels diverge ({context})" if context else "kernels diverge"
+        lines = [f"{header}: {len(diffs)} differing measurement(s)"]
+        lines.extend(f"  {diff}" for diff in diffs[:20])
+        if len(diffs) > 20:
+            lines.append(f"  ... and {len(diffs) - 20} more")
+        super().__init__("\n".join(lines))
+
+
+def stats_diff(reference: SimStats, candidate: SimStats) -> list[StatsDiff]:
+    """Full field-by-field diff of two :class:`SimStats` (empty = identical)."""
+    diffs: list[StatsDiff] = []
+    for section in _COUNTER_SECTIONS:
+        ref_counter = getattr(reference, section)
+        cand_counter = getattr(candidate, section)
+        for key in sorted(set(ref_counter) | set(cand_counter), key=repr):
+            if ref_counter[key] != cand_counter[key]:
+                diffs.append(
+                    StatsDiff(section, str(key), ref_counter[key], cand_counter[key])
+                )
+    if reference.num_cores != candidate.num_cores:
+        diffs.append(StatsDiff("num_cores", "-", reference.num_cores, candidate.num_cores))
+    for core, (ref_finish, cand_finish) in enumerate(
+        zip(reference.core_finish, candidate.core_finish)
+    ):
+        if ref_finish != cand_finish:
+            diffs.append(StatsDiff("core_finish", str(core), ref_finish, cand_finish))
+    if len(reference.core_finish) != len(candidate.core_finish):
+        diffs.append(
+            StatsDiff(
+                "core_finish", "len",
+                len(reference.core_finish), len(candidate.core_finish),
+            )
+        )
+    if reference.completion_time != candidate.completion_time:
+        diffs.append(
+            StatsDiff(
+                "completion_time", "-",
+                reference.completion_time, candidate.completion_time,
+            )
+        )
+    return diffs
+
+
+def assert_stats_equal(
+    reference: SimStats, candidate: SimStats, context: str = ""
+) -> None:
+    """Raise :class:`DifferentialMismatch` unless the stats are identical."""
+    diffs = stats_diff(reference, candidate)
+    if diffs:
+        raise DifferentialMismatch(diffs, context)
+
+
+def diff_kernels(
+    engine_builder: Callable[[], ProtocolEngine],
+    traces: TraceSet,
+    reference: str = "reference",
+    candidate: str = "fast",
+) -> tuple[SimStats, SimStats, list[StatsDiff]]:
+    """Run both kernels over fresh engines and diff the results.
+
+    ``engine_builder`` must return a *fresh* engine per call — engines
+    are stateful and cannot be reused across runs.
+    """
+    reference_stats = simulate(engine_builder(), traces, kernel=reference)
+    candidate_stats = simulate(engine_builder(), traces, kernel=candidate)
+    return reference_stats, candidate_stats, stats_diff(reference_stats, candidate_stats)
+
+
+def verify_kernels(
+    engine_builder: Callable[[], ProtocolEngine],
+    traces: TraceSet,
+    reference: str = "reference",
+    candidate: str = "fast",
+    context: str = "",
+) -> SimStats:
+    """Assert both kernels agree; returns the reference stats on success."""
+    reference_stats, _candidate_stats, diffs = diff_kernels(
+        engine_builder, traces, reference, candidate
+    )
+    if diffs:
+        raise DifferentialMismatch(diffs, context or f"{reference} vs {candidate}")
+    return reference_stats
+
+
+def verify_matrix(
+    engine_builders: Mapping[str, Callable[[], ProtocolEngine]],
+    trace_sets: Mapping[str, TraceSet],
+    reference: str = "reference",
+    candidate: str = "fast",
+) -> dict[tuple[str, str], SimStats]:
+    """Differentially verify every (scheme, workload) combination.
+
+    Returns the reference stats per combination; raises on the first
+    divergence with the (scheme, workload) context in the message.
+    """
+    results: dict[tuple[str, str], SimStats] = {}
+    for workload_name, traces in trace_sets.items():
+        for scheme_name, builder in engine_builders.items():
+            results[(scheme_name, workload_name)] = verify_kernels(
+                builder,
+                traces,
+                reference,
+                candidate,
+                context=f"scheme={scheme_name} workload={workload_name}",
+            )
+    return results
+
+
+def summarize(results: Iterable[tuple[tuple[str, str], SimStats]]) -> str:
+    """Human-readable one-line-per-combination report of a verified matrix."""
+    lines = ["scheme x workload: completion_time / l1_misses (kernels identical)"]
+    for (scheme_name, workload_name), stats in results:
+        lines.append(
+            f"  {scheme_name:10s} {workload_name:14s} "
+            f"{stats.completion_time:12.0f} / {stats.l1_misses()}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Golden-snapshot store: pin paper numbers against silent drift.
+
+A golden is a checked-in JSON document capturing the output of one
+experiment (the headline summary, a figure matrix, ...).  Tests compare
+freshly computed payloads against the stored document and fail on any
+difference, so a refactor that changes simulated numbers cannot land
+unnoticed.
+
+Regeneration is explicit: run the affected tests with ``REPRO_REGOLD=1``
+(or pass ``regenerate=True`` / the ``--regold`` pytest flag) and commit
+the rewritten JSON — the diff then *is* the review artifact.
+
+Payloads are normalized through a JSON round-trip before comparison, so
+tuples/lists and int-valued floats compare by serialized value, and
+floats rely on ``repr`` round-tripping (exact for finite doubles).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+#: Environment variable that switches every store into regeneration mode.
+REGOLD_ENV = "REPRO_REGOLD"
+
+
+class GoldenMismatch(AssertionError):
+    """A computed payload does not match its checked-in golden."""
+
+
+def _normalize(payload: Any) -> Any:
+    """Canonical JSON-value form of a payload (tuples→lists, keys→str)."""
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+def payload_diff(expected: Any, actual: Any, path: str = "$") -> list[str]:
+    """Recursive diff of two normalized JSON values, as readable paths."""
+    if type(expected) is not type(actual):
+        return [f"{path}: type {type(expected).__name__} != {type(actual).__name__}"]
+    if isinstance(expected, dict):
+        diffs: list[str] = []
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                diffs.append(f"{path}.{key}: unexpected (not in golden)")
+            elif key not in actual:
+                diffs.append(f"{path}.{key}: missing (golden has {expected[key]!r})")
+            else:
+                diffs.extend(payload_diff(expected[key], actual[key], f"{path}.{key}"))
+        return diffs
+    if isinstance(expected, list):
+        diffs = []
+        if len(expected) != len(actual):
+            diffs.append(f"{path}: length {len(expected)} != {len(actual)}")
+        for index, (exp_item, act_item) in enumerate(zip(expected, actual)):
+            diffs.extend(payload_diff(exp_item, act_item, f"{path}[{index}]"))
+        return diffs
+    if expected != actual:
+        return [f"{path}: golden {expected!r} != actual {actual!r}"]
+    return []
+
+
+def round_floats(payload: Any, ndigits: int = 9) -> Any:
+    """Recursively round floats, for goldens robust to last-ulp drift."""
+    if isinstance(payload, float):
+        return round(payload, ndigits)
+    if isinstance(payload, dict):
+        return {key: round_floats(value, ndigits) for key, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [round_floats(item, ndigits) for item in payload]
+    return payload
+
+
+def regenerate_requested() -> bool:
+    """Whether the environment asks for golden regeneration."""
+    return os.environ.get(REGOLD_ENV, "") not in ("", "0", "false", "no")
+
+
+class GoldenStore:
+    """Directory of named JSON goldens with explicit regeneration."""
+
+    def __init__(self, root: str | Path, regenerate: bool | None = None) -> None:
+        self.root = Path(root)
+        self.regenerate = regenerate_requested() if regenerate is None else regenerate
+
+    def path(self, name: str) -> Path:
+        return self.root / f"{name}.json"
+
+    def exists(self, name: str) -> bool:
+        return self.path(name).is_file()
+
+    def load(self, name: str) -> Any:
+        with self.path(name).open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def save(self, name: str, payload: Any) -> Path:
+        target = self.path(name)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            json.dump(_normalize(payload), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+    def check(self, name: str, payload: Any) -> None:
+        """Compare ``payload`` against the stored golden.
+
+        * regeneration mode → (re)write the golden and return;
+        * missing golden → fail with regeneration instructions;
+        * mismatch → fail with a recursive value diff.
+        """
+        actual = _normalize(payload)
+        if self.regenerate:
+            self.save(name, actual)
+            return
+        if not self.exists(name):
+            raise GoldenMismatch(
+                f"golden {self.path(name)} does not exist; run the test once "
+                f"with {REGOLD_ENV}=1 (or pytest --regold) and commit the "
+                f"generated file"
+            )
+        expected = self.load(name)
+        diffs = payload_diff(expected, actual)
+        if diffs:
+            preview = "\n".join(f"  {line}" for line in diffs[:25])
+            more = f"\n  ... and {len(diffs) - 25} more" if len(diffs) > 25 else ""
+            raise GoldenMismatch(
+                f"golden {name!r} drifted ({len(diffs)} difference(s)).\n"
+                f"{preview}{more}\n"
+                f"If the change is intentional, regenerate with {REGOLD_ENV}=1 "
+                f"and commit {self.path(name)}."
+            )

@@ -1,0 +1,150 @@
+"""Metamorphic checks for the simulation event loop.
+
+Metamorphic testing verifies *relations between runs* instead of
+absolute numbers, so it needs no golden and no second implementation:
+
+* **Equal-time permutation** — events that become ready at the same
+  timestamp (the time-zero seeding of every core, the simultaneous
+  re-release of barrier-parked cores) may be pushed into the scheduler
+  in any order; the heap must normalize the order away.  Kernels expose
+  a ``perturb_seed`` hook that shuffles exactly those pushes, and this
+  check asserts the shuffled runs are bit-identical to the baseline.
+
+* **Scale monotonicity** — growing a workload's trace length must not
+  shrink completion time or total accesses: more work on an in-order
+  core can only take longer.
+
+* **Barrier-count invariance** — prepending a time-zero barrier to
+  every core is a no-op: all cores arrive at t=0, release at t=0, and
+  zero Synchronization cycles are charged.  Results must be identical
+  for any number of prepended barriers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.common.types import AccessType
+from repro.schemes.base import ProtocolEngine
+from repro.sim.kernel import KERNELS
+from repro.sim.simulator import simulate
+from repro.sim.stats import SimStats
+from repro.testing.differential import assert_stats_equal
+from repro.workloads.trace import CoreTrace, TraceSet
+
+EngineBuilder = Callable[[], ProtocolEngine]
+TraceBuilder = Callable[[float], TraceSet]
+
+
+def check_equal_time_permutation(
+    engine_builder: EngineBuilder,
+    traces: TraceSet,
+    kernel: str = "fast",
+    seeds: Sequence[int] = (1, 2, 3),
+) -> SimStats:
+    """Shuffled scheduling of equal-time events must not change results.
+
+    Runs a baseline with the unperturbed kernel, then one run per seed
+    with the kernel's equal-time pushes shuffled, asserting full
+    :class:`SimStats` equality each time.  Returns the baseline stats.
+    """
+    kernel_cls = KERNELS[kernel]
+    baseline = simulate(engine_builder(), traces, kernel=kernel_cls())
+    for seed in seeds:
+        perturbed = simulate(
+            engine_builder(), traces, kernel=kernel_cls(perturb_seed=seed)
+        )
+        assert_stats_equal(
+            baseline,
+            perturbed,
+            context=f"equal-time permutation (kernel={kernel}, seed={seed})",
+        )
+    return baseline
+
+
+def check_scale_monotonicity(
+    engine_builder: EngineBuilder,
+    trace_builder: TraceBuilder,
+    scales: Sequence[float],
+    kernel: str | None = None,
+) -> list[tuple[float, SimStats]]:
+    """Longer workloads must not finish sooner.
+
+    ``trace_builder(scale)`` must produce the same workload at different
+    trace lengths (e.g. ``build_trace`` with a fixed profile and seed).
+    Asserts total accesses and completion time are non-decreasing in
+    ``scale``; returns the per-scale stats for further inspection.
+    """
+    if sorted(scales) != list(scales):
+        raise ValueError("scales must be given in increasing order")
+    results: list[tuple[float, SimStats]] = []
+    previous_accesses = -1
+    previous_completion = -1.0
+    for scale in scales:
+        traces = trace_builder(scale)
+        stats = simulate(engine_builder(), traces, kernel=kernel)
+        accesses = traces.total_accesses()
+        if accesses < previous_accesses:
+            raise AssertionError(
+                f"scale {scale}: total accesses shrank ({previous_accesses} "
+                f"-> {accesses}) — trace builder is not monotone in scale"
+            )
+        if stats.completion_time < previous_completion:
+            raise AssertionError(
+                f"scale {scale}: completion time shrank "
+                f"({previous_completion} -> {stats.completion_time}) "
+                f"despite a workload that only grew"
+            )
+        previous_accesses = accesses
+        previous_completion = stats.completion_time
+        results.append((scale, stats))
+    return results
+
+
+def with_prepended_barriers(traces: TraceSet, count: int = 1) -> TraceSet:
+    """A copy of ``traces`` with ``count`` time-zero barriers prepended
+    to every core (line and gap of a barrier record are ignored)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    barrier = int(AccessType.BARRIER)
+    cores = []
+    for trace in traces.cores:
+        cores.append(
+            CoreTrace(
+                types=np.concatenate(
+                    [np.full(count, barrier, dtype=trace.types.dtype), trace.types]
+                ),
+                lines=np.concatenate(
+                    [np.zeros(count, dtype=trace.lines.dtype), trace.lines]
+                ),
+                gaps=np.concatenate(
+                    [np.zeros(count, dtype=trace.gaps.dtype), trace.gaps]
+                ),
+            )
+        )
+    return TraceSet(traces.name, cores, list(traces.regions))
+
+
+def check_barrier_count_invariance(
+    engine_builder: EngineBuilder,
+    traces: TraceSet,
+    counts: Sequence[int] = (1, 3),
+    kernel: str | None = None,
+) -> SimStats:
+    """Prepended time-zero barriers must be observationally free.
+
+    Asserts the full :class:`SimStats` (including the Synchronization
+    bucket) is identical with 0, ``counts[0]``, ... prepended barriers.
+    Returns the baseline stats.
+    """
+    baseline = simulate(engine_builder(), traces, kernel=kernel)
+    for count in counts:
+        padded = simulate(
+            engine_builder(), traces=with_prepended_barriers(traces, count), kernel=kernel
+        )
+        assert_stats_equal(
+            baseline, padded, context=f"{count} prepended barrier(s)"
+        )
+    return baseline

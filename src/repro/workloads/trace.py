@@ -20,6 +20,48 @@ import numpy as np
 from repro.common.addr import Region
 from repro.common.types import AccessType, LineClass
 
+#: ``AccessType`` members keyed by value, for O(1) decode without the
+#: (surprisingly expensive) ``AccessType(value)`` enum constructor.
+_ACCESS_TYPE_BY_VALUE = {int(member): member for member in AccessType}
+
+
+class DecodedTrace:
+    """Plain-Python view of one core's records for the simulation hot loop.
+
+    The simulator touches every record exactly once, so per-record numpy
+    scalar extraction (``trace.types[i]``), ``AccessType(...)`` enum
+    construction and ``float()``/``int()`` coercions dominate a naive
+    loop.  Decoding hoists all of that into one vectorized pass:
+
+    * ``atypes`` — :class:`AccessType` members (table lookup, no enum call);
+    * ``lines`` — native ints;
+    * ``gaps`` — native floats;
+    * ``compute_cycles`` — the summed non-barrier compute gap, so the
+      Compute latency bucket can be charged once per core instead of once
+      per record.  ``gaps_integral`` records whether every gap is
+      integer-valued: only then is the batched float sum order-independent
+      (exact), so kernels must fall back to per-record charging when it is
+      False to stay bit-identical to the reference accumulation order.
+    """
+
+    __slots__ = (
+        "atypes", "lines", "gaps", "length", "compute_cycles", "gaps_integral",
+    )
+
+    def __init__(self, trace: "CoreTrace") -> None:
+        table = _ACCESS_TYPE_BY_VALUE
+        self.atypes = [table[value] for value in trace.types.tolist()]
+        self.lines = trace.lines.tolist()
+        self.gaps = trace.gaps.astype(np.float64).tolist()
+        self.length = len(self.atypes)
+        non_barrier = trace.types != AccessType.BARRIER
+        self.compute_cycles = float(
+            trace.gaps[non_barrier].sum(dtype=np.float64)
+        )
+        self.gaps_integral = trace.gaps.dtype.kind in "iub" or bool(
+            np.all(trace.gaps == np.floor(trace.gaps))
+        )
+
 
 @dataclasses.dataclass
 class CoreTrace:
@@ -32,9 +74,35 @@ class CoreTrace:
     def __post_init__(self) -> None:
         if not (len(self.types) == len(self.lines) == len(self.gaps)):
             raise ValueError("trace arrays must have equal length")
+        self._decoded: DecodedTrace | None = None
 
     def __len__(self) -> int:
         return len(self.types)
+
+    def decoded(self) -> DecodedTrace:
+        """Cached :class:`DecodedTrace` view.
+
+        Caching freezes the backing arrays (mutation would silently
+        desynchronize the cached view from the array data): in-place
+        writes raise until :meth:`release_decoded` thaws them.
+        """
+        if self._decoded is None:
+            self._decoded = DecodedTrace(self)
+            for array in (self.types, self.lines, self.gaps):
+                array.setflags(write=False)
+        return self._decoded
+
+    def release_decoded(self) -> None:
+        """Drop the cached decoded view (it rebuilds on demand).
+
+        The view holds boxed-Python copies of the arrays — worth freeing
+        once a batch of simulations over this trace is finished.  The
+        backing arrays become writable again.
+        """
+        if self._decoded is not None:
+            self._decoded = None
+            for array in (self.types, self.lines, self.gaps):
+                array.setflags(write=True)
 
     def barrier_count(self) -> int:
         return int(np.count_nonzero(self.types == AccessType.BARRIER))
@@ -54,6 +122,7 @@ class TraceSet:
             (region.base, region.end, line_class) for region, line_class in self.regions
         )
         self._starts = [base for base, _end, _cls in self._bases]
+        self._coverage_checked = False
         barrier_counts = {trace.barrier_count() for trace in self.cores}
         if len(barrier_counts) > 1:
             raise ValueError(f"cores disagree on barrier count: {barrier_counts}")
@@ -61,6 +130,49 @@ class TraceSet:
     @property
     def num_cores(self) -> int:
         return len(self.cores)
+
+    def decoded(self) -> list[DecodedTrace]:
+        """Per-core :class:`DecodedTrace` views (cached on the cores)."""
+        return [trace.decoded() for trace in self.cores]
+
+    def release_decoded(self) -> None:
+        """Drop every core's cached decoded view."""
+        for trace in self.cores:
+            trace.release_decoded()
+
+    def validate_coverage(self) -> None:
+        """Raise ``ValueError`` if any access targets an unmapped line.
+
+        Every non-barrier record must fall inside one of the declared
+        regions; a trace that accesses an unmapped line would otherwise
+        silently desynchronize the region-based classifiers (Figure 1
+        profiling, R-NUCA page classification) from the simulated traffic.
+        The check is vectorized and runs once per :class:`TraceSet`.
+        """
+        if self._coverage_checked:
+            return
+        starts = np.array(self._starts, dtype=np.int64)
+        ends = np.array([end for _base, end, _cls in self._bases], dtype=np.int64)
+        barrier = int(AccessType.BARRIER)
+        for core_id, trace in enumerate(self.cores):
+            lines = trace.lines[trace.types != barrier]
+            if lines.size == 0:
+                continue
+            if starts.size == 0:
+                bad_line = int(lines[0])
+            else:
+                index = np.searchsorted(starts, lines, side="right") - 1
+                covered = (index >= 0) & (lines < ends[np.maximum(index, 0)])
+                if covered.all():
+                    continue
+                bad_line = int(lines[int(np.argmin(covered))])
+            raise ValueError(
+                f"trace {self.name!r}: core {core_id} accesses line "
+                f"{bad_line:#x}, which no region of the TraceSet region map "
+                f"covers — every accessed line must fall inside a declared "
+                f"(Region, LineClass) entry"
+            )
+        self._coverage_checked = True
 
     def classify(self, line_addr: int) -> LineClass:
         """Data class of a line (Figure 1 categories)."""

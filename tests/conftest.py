@@ -7,6 +7,15 @@ import pytest
 from repro.common.params import MachineConfig
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regold",
+        action="store_true",
+        default=False,
+        help="regenerate golden snapshots instead of comparing against them",
+    )
+
+
 @pytest.fixture
 def tiny_config() -> MachineConfig:
     """4-core machine with hand-traceable cache sizes."""

@@ -2,9 +2,61 @@
 
 from __future__ import annotations
 
+import types
+
+import numpy as np
+
 from repro.cache.entries import HomeEntry, ReplicaEntry
-from repro.common.types import AccessType, MESIState
+from repro.common.addr import Region
+from repro.common.types import AccessType, LineClass, MESIState, MissStatus
 from repro.schemes.base import AccessResult, ProtocolEngine
+from repro.sim.stats import SimStats
+from repro.workloads.trace import CoreTrace, TraceSet
+
+
+class FixedLatencyEngine:
+    """Minimal engine stub: every access costs exactly ``latency`` cycles.
+
+    With memory latency deterministic and contention-free, event-loop
+    quantities (barrier arrivals, release times, finish times) are exactly
+    computable, which makes the kernel scheduling properties testable in
+    isolation from the machine model.  Records every dispatched access in
+    ``calls`` as ``(core, access_type_value, line, issue_time)``.
+    """
+
+    def __init__(self, num_cores: int, latency: float = 5.0) -> None:
+        self.config = types.SimpleNamespace(num_cores=num_cores)
+        self.stats = SimStats(num_cores)
+        self.latency = latency
+        self.calls: list[tuple[int, int, int, float]] = []
+
+    def access(self, core: int, atype: AccessType, line_addr: int, now: float) -> AccessResult:
+        self.calls.append((core, int(atype), line_addr, now))
+        self.stats.record_miss(MissStatus.L1_HIT)
+        return AccessResult(self.latency, MissStatus.L1_HIT)
+
+    def finalize(self) -> None:
+        pass
+
+
+def records_trace_set(
+    per_core: list[list[tuple[AccessType, int, int]]],
+    name: str = "records",
+    region_lines: int = 1 << 16,
+) -> TraceSet:
+    """Build a TraceSet from per-core ``(type, line, gap)`` record lists."""
+    cores = []
+    for records in per_core:
+        cores.append(
+            CoreTrace(
+                types=np.array([r[0] for r in records], dtype=np.uint8),
+                lines=np.array([r[1] for r in records], dtype=np.int64),
+                gaps=np.array([r[2] for r in records], dtype=np.uint16),
+            )
+        )
+    return TraceSet(
+        name, cores, [(Region(0, region_lines), LineClass.SHARED_RW)]
+    )
 
 
 def drive(

@@ -4,9 +4,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.params import MachineConfig
+from repro.common.types import AccessType
 from repro.schemes.factory import make_scheme
+from repro.sim import stats as stat_names
 from repro.sim.simulator import simulate
 from repro.workloads.benchmarks import BenchmarkProfile, build_trace
+from tests.helpers import FixedLatencyEngine, records_trace_set
 
 class TestWholeSimulationProperties:
     @given(
@@ -69,3 +72,124 @@ class TestWholeSimulationProperties:
         )
         assert first.completion_time == second.completion_time
         assert first.counters == second.counters
+
+
+#: Per-core record programs for the event-loop properties: a list of
+#: compute gaps, one access per gap (line addresses are irrelevant to
+#: the stub engine's fixed latency).
+_gap_lists = st.lists(st.integers(min_value=0, max_value=40), min_size=0, max_size=6)
+
+
+class TestEventLoopProperties:
+    """Kernel scheduling properties, isolated via a fixed-latency engine."""
+
+    NUM_CORES = 4
+
+    def _access_records(self, gaps, base_line=0):
+        return [(AccessType.READ, base_line + i, gap) for i, gap in enumerate(gaps)]
+
+    @given(
+        per_core_gaps=st.lists(_gap_lists, min_size=4, max_size=4),
+        with_barrier=st.booleans(),
+        latency=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_kernels_dispatch_identical_event_sequences(
+        self, per_core_gaps, with_barrier, latency
+    ):
+        """Heap ordering: both kernels issue the same accesses, in the
+        same global order, at the same timestamps."""
+        barrier = [(AccessType.BARRIER, 0, 0)] if with_barrier else []
+        per_core = [
+            self._access_records(gaps[: len(gaps) // 2], base_line=100 * core)
+            + barrier
+            + self._access_records(gaps[len(gaps) // 2:], base_line=100 * core + 50)
+            for core, gaps in enumerate(per_core_gaps)
+        ]
+        traces = records_trace_set(per_core)
+        engines = {}
+        for kernel in ("reference", "fast"):
+            engine = FixedLatencyEngine(self.NUM_CORES, latency=float(latency))
+            simulate(engine, traces, kernel=kernel)
+            engines[kernel] = engine
+        assert engines["reference"].calls == engines["fast"].calls
+        assert (
+            engines["reference"].stats.core_finish == engines["fast"].stats.core_finish
+        )
+        assert engines["reference"].stats.latency == engines["fast"].stats.latency
+        # In-order cores: each core's issue times advance by at least the
+        # access latency between consecutive accesses.
+        for core in range(self.NUM_CORES):
+            issues = [call[3] for call in engines["fast"].calls if call[0] == core]
+            assert all(
+                later - earlier >= latency
+                for earlier, later in zip(issues, issues[1:])
+            )
+
+    @given(
+        entry_gaps=st.lists(
+            st.integers(min_value=0, max_value=200), min_size=4, max_size=4
+        ),
+        tail_gaps=st.lists(
+            st.integers(min_value=0, max_value=50) | st.none(), min_size=4, max_size=4
+        ),
+        latency=st.integers(min_value=1, max_value=9),
+        kernel=st.sampled_from(["reference", "fast"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_barrier_release_charges_exact_wait(
+        self, entry_gaps, tail_gaps, latency, kernel
+    ):
+        """Synchronization == sum over cores of (release_time - arrival),
+        with arrival and release exactly computable under fixed latency."""
+        per_core = []
+        for core, (gap, tail) in enumerate(zip(entry_gaps, tail_gaps)):
+            records = [
+                (AccessType.READ, 100 * core, gap),
+                (AccessType.BARRIER, 0, 0),
+            ]
+            if tail is not None:
+                records.append((AccessType.READ, 100 * core + 1, tail))
+            per_core.append(records)
+        engine = FixedLatencyEngine(self.NUM_CORES, latency=float(latency))
+        stats = simulate(engine, records_trace_set(per_core), kernel=kernel)
+
+        arrivals = [gap + latency for gap in entry_gaps]
+        release = max(arrivals)
+        expected_sync = float(sum(release - arrival for arrival in arrivals))
+        assert stats.latency[stat_names.SYNCHRONIZATION] == expected_sync
+
+        expected_finish = [
+            release + (tail + latency if tail is not None else 0)
+            for tail in tail_gaps
+        ]
+        assert stats.core_finish == [float(finish) for finish in expected_finish]
+        assert stats.completion_time == max(expected_finish)
+
+        expected_compute = float(
+            sum(entry_gaps) + sum(tail for tail in tail_gaps if tail)
+        )
+        assert stats.latency[stat_names.COMPUTE] == expected_compute
+
+    @given(
+        active=st.lists(st.booleans(), min_size=4, max_size=4),
+        kernel=st.sampled_from(["reference", "fast"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_finished_core_accounting(self, active, kernel):
+        """Every core gets a finish time; empty traces finish at t=0 and
+        the completion time is the max over cores."""
+        per_core = [
+            self._access_records([3, 2], base_line=100 * core) if is_active else []
+            for core, is_active in enumerate(active)
+        ]
+        engine = FixedLatencyEngine(self.NUM_CORES, latency=4.0)
+        stats = simulate(engine, records_trace_set(per_core), kernel=kernel)
+        assert len(stats.core_finish) == self.NUM_CORES
+        for core, is_active in enumerate(active):
+            if is_active:
+                assert stats.core_finish[core] == 3 + 4 + 2 + 4
+            else:
+                assert stats.core_finish[core] == 0.0
+        assert stats.completion_time == max(stats.core_finish)
+        assert len(engine.calls) == 2 * sum(active)

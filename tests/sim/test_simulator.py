@@ -7,9 +7,8 @@ from repro.common.types import AccessType
 from repro.schemes.snuca import SNucaScheme
 from repro.sim import stats as stat_names
 from repro.sim.simulator import simulate
-from repro.common.addr import Region
-from repro.common.types import LineClass
 from repro.workloads.trace import CoreTrace, TraceSet
+from tests.helpers import records_trace_set
 
 
 def _trace(records, name="test", regions=None):
@@ -21,9 +20,7 @@ def _trace(records, name="test", regions=None):
 
 
 def _trace_set(per_core, tiny_config, name="test"):
-    region = Region(0, 4096)
-    return TraceSet(name, [_trace(records) for records in per_core],
-                    [(region, LineClass.SHARED_RW)])
+    return records_trace_set(per_core, name=name, region_lines=4096)
 
 
 class TestBasicRuns:
@@ -114,6 +111,51 @@ class TestBarriers:
             for core, index in zip(range(4), range(4))
         ]
         stats = simulate(SNucaScheme(tiny_config), _trace_set(per_core, tiny_config))
+        assert stats.completion_time > 0
+
+
+class TestRegionCoverage:
+    """simulate() must reject traces whose region map misses accessed lines."""
+
+    @pytest.mark.parametrize("kernel", ["reference", "fast"])
+    def test_uncovered_access_raises_clear_error(self, tiny_config, kernel):
+        traces = _trace_set(
+            [[(AccessType.READ, 5000, 0)], [], [], []], tiny_config
+        )  # region map covers [0, 4096) only
+        with pytest.raises(ValueError, match="region map"):
+            simulate(SNucaScheme(tiny_config), traces, kernel=kernel)
+
+    def test_error_names_core_and_line(self, tiny_config):
+        traces = _trace_set(
+            [[], [(AccessType.READ, 5, 0), (AccessType.WRITE, 0x2000, 0)], [], []],
+            tiny_config,
+        )
+        with pytest.raises(ValueError, match="core 1 accesses line 0x2000"):
+            simulate(SNucaScheme(tiny_config), traces)
+
+    def test_empty_region_map_rejects_any_access(self, tiny_config):
+        region_free = TraceSet(
+            "bare", [_trace([(AccessType.READ, 5, 0)]), _trace([]), _trace([]),
+                     _trace([])], []
+        )
+        with pytest.raises(ValueError, match="region map"):
+            simulate(SNucaScheme(tiny_config), region_free)
+
+    def test_barrier_records_are_exempt(self, tiny_config):
+        barrier = (AccessType.BARRIER, 9999, 0)  # barrier line is ignored
+        traces = _trace_set(
+            [[barrier, (AccessType.READ, 5, 0)], [barrier], [barrier], [barrier]],
+            tiny_config,
+        )
+        stats = simulate(SNucaScheme(tiny_config), traces)
+        assert stats.completion_time > 0
+
+    def test_validation_is_cached_per_trace_set(self, tiny_config):
+        # A pre-set cache flag must short-circuit the scan: an uncovered
+        # trace marked as already-checked simulates without raising.
+        traces = _trace_set([[(AccessType.READ, 5000, 0)], [], [], []], tiny_config)
+        traces._coverage_checked = True
+        stats = simulate(SNucaScheme(tiny_config), traces)
         assert stats.completion_time > 0
 
 

@@ -1,0 +1,19 @@
+"""Fixtures for the verification-subsystem tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing.golden import GoldenStore, regenerate_requested
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+@pytest.fixture
+def golden_store(request: pytest.FixtureRequest) -> GoldenStore:
+    """The checked-in golden directory; ``--regold`` or ``REPRO_REGOLD=1``
+    switches it into regeneration mode."""
+    regenerate = request.config.getoption("--regold") or regenerate_requested()
+    return GoldenStore(GOLDEN_DIR, regenerate=regenerate)

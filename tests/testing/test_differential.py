@@ -1,0 +1,132 @@
+"""Differential suite: the fast kernel is bit-identical to the reference.
+
+Every headline number flows through the simulator, so the optimized
+kernel is only trustworthy if it reproduces the reference loop's
+``SimStats`` exactly — all five schemes, across workload regimes (LLC
+reuse, capacity pressure, migratory sharing) and seeds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.schemes.factory import make_scheme
+from repro.sim.stats import SimStats
+from repro.testing.differential import (
+    DifferentialMismatch,
+    StatsDiff,
+    assert_stats_equal,
+    diff_kernels,
+    stats_diff,
+    summarize,
+    verify_kernels,
+    verify_matrix,
+)
+from repro.workloads.benchmarks import build_trace, get_profile
+
+#: The five evaluated schemes (ASR at its default replication level).
+SCHEMES = ("S-NUCA", "R-NUCA", "VR", "ASR", "RT-3")
+
+#: Three seeded workload profiles spanning distinct behaviour classes:
+#: shared-RW reuse, partitioned capacity pressure, migratory data.
+WORKLOADS = (
+    ("BARNES", 0.10, 11),
+    ("OCEAN-C", 0.10, 23),
+    ("DEDUP", 0.10, 37),
+)
+
+
+@pytest.fixture(scope="module")
+def config() -> MachineConfig:
+    return MachineConfig.tiny()
+
+
+@pytest.fixture(scope="module")
+def trace_sets(config):
+    return {
+        name: build_trace(get_profile(name), config, scale=scale, seed=seed)
+        for name, scale, seed in WORKLOADS
+    }
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("workload", [name for name, _s, _e in WORKLOADS])
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_identical_stats(self, config, trace_sets, scheme, workload):
+        stats = verify_kernels(
+            lambda: make_scheme(scheme, config),
+            trace_sets[workload],
+            context=f"{scheme} on {workload}",
+        )
+        # Sanity: the workload actually exercised the machine.
+        assert stats.completion_time > 0
+        assert stats.l1_misses() > 0
+
+    def test_verify_matrix_runs_all_combinations(self, config, trace_sets):
+        builders = {scheme: (lambda s=scheme: make_scheme(s, config))
+                    for scheme in ("S-NUCA", "RT-3")}
+        results = verify_matrix(builders, trace_sets)
+        assert len(results) == 2 * len(trace_sets)
+        report = summarize(sorted(results.items()))
+        for scheme in builders:
+            assert scheme in report
+
+
+class TestStatsDiff:
+    def _stats(self) -> SimStats:
+        stats = SimStats(2)
+        stats.counters = Counter({"l1d_hits": 3})
+        stats.latency = Counter({"Compute": 10.0})
+        stats.core_finish = [5.0, 7.0]
+        stats.completion_time = 7.0
+        return stats
+
+    def test_identical_stats_have_empty_diff(self):
+        assert stats_diff(self._stats(), self._stats()) == []
+        assert_stats_equal(self._stats(), self._stats())
+
+    def test_counter_divergence_reported(self):
+        reference, candidate = self._stats(), self._stats()
+        candidate.counters["l1d_hits"] += 1
+        candidate.latency["Compute"] = 11.0
+        diffs = stats_diff(reference, candidate)
+        assert {(diff.section, diff.key) for diff in diffs} == {
+            ("counters", "l1d_hits"),
+            ("latency", "Compute"),
+        }
+
+    def test_missing_key_counts_as_divergence(self):
+        reference, candidate = self._stats(), self._stats()
+        candidate.counters["invalidations_sent"] = 2
+        diffs = stats_diff(reference, candidate)
+        assert [diff.key for diff in diffs] == ["invalidations_sent"]
+        assert diffs[0].reference == 0
+
+    def test_core_finish_and_completion_divergence(self):
+        reference, candidate = self._stats(), self._stats()
+        candidate.core_finish[1] = 9.0
+        candidate.completion_time = 9.0
+        sections = {diff.section for diff in stats_diff(reference, candidate)}
+        assert sections == {"core_finish", "completion_time"}
+
+    def test_mismatch_raises_with_readable_report(self):
+        reference, candidate = self._stats(), self._stats()
+        candidate.counters["l1d_hits"] = 99
+        with pytest.raises(DifferentialMismatch, match=r"counters\[l1d_hits\]"):
+            assert_stats_equal(reference, candidate, context="unit")
+
+    def test_statsdiff_str(self):
+        diff = StatsDiff("counters", "x", 1, 2)
+        assert "counters[x]" in str(diff)
+
+
+class TestDiffKernels:
+    def test_returns_both_stats_and_empty_diff(self, config, trace_sets):
+        reference, candidate, diffs = diff_kernels(
+            lambda: make_scheme("VR", config), trace_sets["BARNES"]
+        )
+        assert diffs == []
+        assert reference.completion_time == candidate.completion_time

@@ -1,0 +1,111 @@
+"""Golden-snapshot regression tests for the paper's headline numbers.
+
+The checked-in JSON goldens pin the headline summary (abstract
+reductions) and the Figure 6–8 comparison matrix on a deterministic
+reduced configuration.  Any refactor that shifts a simulated number now
+fails loudly; intentional changes are regenerated with ``--regold`` (or
+``REPRO_REGOLD=1``) and reviewed as a JSON diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.experiments import comparison, summary
+from repro.experiments.runner import ExperimentSetup
+from repro.testing.golden import (
+    GoldenMismatch,
+    GoldenStore,
+    payload_diff,
+    round_floats,
+)
+
+#: Deterministic reduced matrix: tiny machine, three representative
+#: benchmarks, fixed seed.  Small enough for every CI run.
+GOLDEN_BENCHMARKS = ("BARNES", "OCEAN-C", "DEDUP")
+GOLDEN_SCALE = 0.25
+GOLDEN_SEED = 1
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    setup = ExperimentSetup(
+        MachineConfig.tiny(), scale=GOLDEN_SCALE, seed=GOLDEN_SEED
+    )
+    return comparison.run_comparison(setup, benchmarks=list(GOLDEN_BENCHMARKS))
+
+
+class TestPaperGoldens:
+    def test_headline_summary_golden(self, golden_store, matrix):
+        energy_reduction, time_reduction = summary.headline_reductions(matrix)
+        golden_store.check(
+            "headline_summary",
+            round_floats(
+                {
+                    "energy_reduction_vs": energy_reduction,
+                    "time_reduction_vs": time_reduction,
+                }
+            ),
+        )
+
+    def test_fig6_fig7_fig8_matrix_golden(self, golden_store, matrix):
+        asr_levels = {
+            benchmark: row["ASR"].asr_level for benchmark, row in matrix.items()
+        }
+        golden_store.check(
+            "fig6_fig7_fig8_matrix",
+            round_floats(
+                {
+                    "fig6_energy": comparison.fig6_energy(matrix),
+                    "fig7_completion": comparison.fig7_completion(matrix),
+                    "fig8_miss_breakdown": comparison.fig8_miss_breakdown(matrix),
+                    "asr_levels": asr_levels,
+                }
+            ),
+        )
+
+
+class TestGoldenStore:
+    def test_save_then_check_round_trips(self, tmp_path):
+        store = GoldenStore(tmp_path, regenerate=False)
+        store.save("numbers", {"a": 1.5, "b": [1, 2, (3, 4)]})
+        store.check("numbers", {"a": 1.5, "b": [1, 2, [3, 4]]})
+
+    def test_mismatch_reports_value_path(self, tmp_path):
+        store = GoldenStore(tmp_path, regenerate=False)
+        store.save("numbers", {"outer": {"inner": 1.0}})
+        with pytest.raises(GoldenMismatch, match=r"\$\.outer\.inner"):
+            store.check("numbers", {"outer": {"inner": 2.0}})
+
+    def test_missing_golden_instructs_regeneration(self, tmp_path):
+        store = GoldenStore(tmp_path, regenerate=False)
+        with pytest.raises(GoldenMismatch, match="REPRO_REGOLD"):
+            store.check("absent", {"a": 1})
+
+    def test_regenerate_writes_and_passes(self, tmp_path):
+        store = GoldenStore(tmp_path, regenerate=True)
+        store.check("fresh", {"a": 1})
+        assert store.exists("fresh")
+        strict = GoldenStore(tmp_path, regenerate=False)
+        strict.check("fresh", {"a": 1})
+
+    def test_extra_and_missing_keys_reported(self, tmp_path):
+        store = GoldenStore(tmp_path, regenerate=False)
+        store.save("keys", {"kept": 1, "dropped": 2})
+        with pytest.raises(GoldenMismatch) as excinfo:
+            store.check("keys", {"kept": 1, "added": 3})
+        message = str(excinfo.value)
+        assert "dropped" in message and "added" in message
+
+
+class TestPayloadDiff:
+    def test_type_mismatch(self):
+        assert payload_diff({"a": 1}, {"a": "1"}) == ["$.a: type int != str"]
+
+    def test_list_length_mismatch(self):
+        diffs = payload_diff([1, 2], [1])
+        assert diffs == ["$: length 2 != 1"]
+
+    def test_equal_payloads_produce_no_diff(self):
+        assert payload_diff({"a": [1, 2.0, "x"]}, {"a": [1, 2.0, "x"]}) == []
