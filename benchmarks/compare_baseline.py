@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Diff a fresh pytest-benchmark JSON against the checked-in baseline.
+
+Two modes::
+
+    python benchmarks/compare_baseline.py distill simulator-throughput.json
+        # emit a trimmed baseline document on stdout (redirect to
+        # benchmarks/baseline.json and commit to move the baseline)
+
+    python benchmarks/compare_baseline.py report simulator-throughput.json \
+        benchmarks/baseline.json
+        # emit a markdown trend table (CI appends it to the job summary)
+
+The report is **warn-only** by design: absolute throughput on shared CI
+runners is noisy, so regressions are flagged in the table (and the
+process still exits 0) rather than failing the job.  The checked-in
+baseline therefore records *relative* structure — which kernels/schemes
+are fast — and big drops stand out across runs.  Only unreadable inputs
+exit non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Current/baseline ratios below this are flagged as slower in the report.
+WARN_RATIO = 0.8
+#: Ratios above this are highlighted as improvements.
+GOOD_RATIO = 1.2
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _rates(benchmark_json: dict) -> dict[str, dict[str, float]]:
+    """name -> {mean_s, accesses_per_second} from pytest-benchmark JSON."""
+    rates: dict[str, dict[str, float]] = {}
+    for bench in benchmark_json.get("benchmarks", []):
+        entry = {"mean_s": bench["stats"]["mean"]}
+        accesses = bench.get("extra_info", {}).get("accesses_per_second")
+        if accesses is not None:
+            entry["accesses_per_second"] = accesses
+        rates[bench["name"]] = entry
+    return rates
+
+
+def distill(args: argparse.Namespace) -> int:
+    payload = {
+        "note": (
+            "Advisory throughput baseline for the CI trend report "
+            "(benchmarks/compare_baseline.py). Regenerate by running the "
+            "benchmark suite with --benchmark-json and distilling it: "
+            "absolute numbers are machine-specific, the report compares "
+            "shape and flags large drops warn-only."
+        ),
+        "benchmarks": _rates(_load(args.current)),
+    }
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+def _format_rate(entry: dict | None) -> str:
+    if entry is None:
+        return "—"
+    accesses = entry.get("accesses_per_second")
+    if accesses is not None:
+        return f"{accesses:,.0f}/s"
+    return f"{entry['mean_s'] * 1e3:.1f} ms"
+
+
+def _ratio(current: dict | None, baseline: dict | None) -> float | None:
+    """current/baseline throughput ratio (>1 means faster than baseline)."""
+    if current is None or baseline is None:
+        return None
+    if "accesses_per_second" in current and "accesses_per_second" in baseline:
+        return current["accesses_per_second"] / baseline["accesses_per_second"]
+    return baseline["mean_s"] / current["mean_s"]
+
+
+def report(args: argparse.Namespace) -> int:
+    current = _rates(_load(args.current))
+    baseline = _load(args.baseline).get("benchmarks", {})
+    names = sorted(set(current) | set(baseline))
+    slower = faster = 0
+    lines = [
+        "### Simulator throughput vs checked-in baseline",
+        "",
+        "_Advisory trend report (warn-only): shared-runner numbers are "
+        "noisy; look for large consistent drops._",
+        "",
+        "| benchmark | baseline | current | ratio | |",
+        "|---|---|---|---|---|",
+    ]
+    for name in names:
+        ratio = _ratio(current.get(name), baseline.get(name))
+        if ratio is None:
+            flag = "🆕" if name in current else "❓ missing"
+            ratio_text = "—"
+        elif ratio < WARN_RATIO:
+            flag = "⚠️ slower"
+            slower += 1
+            ratio_text = f"{ratio:.2f}x"
+        elif ratio > GOOD_RATIO:
+            flag = "🚀"
+            faster += 1
+            ratio_text = f"{ratio:.2f}x"
+        else:
+            flag = ""
+            ratio_text = f"{ratio:.2f}x"
+        lines.append(
+            f"| `{name}` | {_format_rate(baseline.get(name))} "
+            f"| {_format_rate(current.get(name))} | {ratio_text} | {flag} |"
+        )
+    lines.append("")
+    lines.append(
+        f"{slower} benchmark(s) below {WARN_RATIO:.0%} of baseline, "
+        f"{faster} above {GOOD_RATIO:.0%}."
+    )
+    print("\n".join(lines))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="mode", required=True)
+    distill_cmd = sub.add_parser("distill", help="trim a benchmark JSON into a baseline")
+    distill_cmd.add_argument("current")
+    distill_cmd.set_defaults(func=distill)
+    report_cmd = sub.add_parser("report", help="markdown trend report vs baseline")
+    report_cmd.add_argument("current")
+    report_cmd.add_argument("baseline")
+    report_cmd.set_defaults(func=report)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

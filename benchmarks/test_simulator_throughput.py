@@ -2,19 +2,29 @@
 
 These measure the *simulator's* throughput (not the modelled machine),
 which is what a user extending the library cares about when sizing
-experiments.  Two workload regimes are measured:
+experiments.  Three workload regimes are measured:
 
 * ``WATER-NSQ`` at reduced scale — miss-heavy, dominated by the protocol
   engine (directory, mesh, DRAM models);
-* ``HOTLOOP`` — an L1-resident loop where ~95% of accesses hit, the
-  regime real traces live in and where the event loop itself is the
-  throughput ceiling.  This is where the fast kernel's hoisting pays,
-  and where the ≥2× speedup over the reference kernel is asserted.
+* ``HOTLOOP`` — an L1-resident loop where ~95% of accesses hit and all
+  cores progress in lockstep; the event loop itself is the throughput
+  ceiling and the fast kernel's hoisting pays (≥2× over reference is
+  asserted here);
+* ``RUNHEAVY`` — a load-imbalanced trace where one hit-heavy core runs
+  long same-core L1-hit runs while the other cores stream and park at
+  barriers.  This is the regime the batched kernel targets: whole runs
+  are serviced per scheduler entry, and ≥1.3× over the *fast* kernel is
+  asserted here.
+
+Every regime is measured under all three kernels so the uploaded
+benchmark JSON (and the checked-in ``benchmarks/baseline.json`` trend
+diff) tracks each kernel separately.
 """
 
 import os
 import time
 
+import numpy as np
 import pytest
 
 #: Minimum fast/reference speedup asserted by the kernel gate.  Defaults
@@ -22,10 +32,19 @@ import pytest
 #: runners can relax it via the environment without losing the gate.
 SPEEDUP_FLOOR = float(os.environ.get("REPRO_KERNEL_SPEEDUP_MIN", "2.0"))
 
+#: Minimum batched/fast speedup on the run-heavy regime (locally ~1.5x).
+BATCHED_SPEEDUP_FLOOR = float(os.environ.get("REPRO_BATCHED_SPEEDUP_MIN", "1.3"))
+
+from repro.common.addr import Region
 from repro.common.params import MachineConfig
+from repro.common.types import AccessType, LineClass
 from repro.schemes.factory import make_scheme
+from repro.sim.kernel import kernel_names
 from repro.sim.simulator import simulate
 from repro.workloads.benchmarks import BenchmarkProfile, build_trace, get_profile
+from repro.workloads.trace import CoreTrace, TraceSet
+
+KERNELS = tuple(kernel_names())  # ("reference", "fast", "batched")
 
 #: L1-resident loop: the hit-heavy regime where loop overhead dominates.
 HOTLOOP_PROFILE = BenchmarkProfile(
@@ -47,6 +66,70 @@ HOTLOOP_PROFILE = BenchmarkProfile(
 )
 
 
+def build_runheavy_traces(
+    config: MachineConfig,
+    phases: int = 6,
+    hit_per_phase: int = 10000,
+    stream_per_phase: int = 12,
+) -> TraceSet:
+    """Load-imbalanced trace with long same-core L1-hit runs.
+
+    Core 0 sweeps an L1-resident region with zero compute gaps (pure
+    hit bursts); every other core issues a handful of streaming accesses
+    over a region far beyond the LLC and parks at the phase barrier.
+    Once the streamers park, core 0 runs the rest of its phase with an
+    empty ready heap — the longest possible scheduling runs, which is
+    exactly where the batched kernel's run servicing pays.
+    """
+    num_cores = config.num_cores
+    hit_lines = max(4, config.l1d.lines // 2)
+    stream_lines = config.llc_slice.lines * num_cores * 4
+    hit_region = Region(0, hit_lines)
+    stream_region = Region(hit_lines, stream_lines)
+    regions = [(hit_region, LineClass.PRIVATE), (stream_region, LineClass.SHARED_RW)]
+    barrier = np.uint8(AccessType.BARRIER)
+
+    def phased(types, lines, gaps, per_phase):
+        chunks = []
+        for phase in range(phases):
+            start = phase * per_phase
+            chunks.append((types[start:start + per_phase],
+                           lines[start:start + per_phase],
+                           gaps[start:start + per_phase]))
+        out_types = np.concatenate(
+            [part for t, _l, _g in chunks for part in (t, np.full(1, barrier))]
+        )
+        out_lines = np.concatenate(
+            [part for _t, l, _g in chunks
+             for part in (l, np.zeros(1, dtype=np.int64))]
+        )
+        out_gaps = np.concatenate(
+            [part for _t, _l, g in chunks
+             for part in (g, np.zeros(1, dtype=np.uint16))]
+        )
+        return CoreTrace(out_types, out_lines, out_gaps)
+
+    cores = []
+    total_hits = phases * hit_per_phase
+    offsets = np.arange(total_hits) % hit_lines
+    cores.append(phased(
+        np.full(total_hits, int(AccessType.READ), dtype=np.uint8),
+        (hit_region.base + offsets).astype(np.int64),
+        np.zeros(total_hits, dtype=np.uint16),
+        hit_per_phase,
+    ))
+    total_stream = phases * stream_per_phase
+    for core in range(1, num_cores):
+        offsets = (np.arange(total_stream) * 7 + core * 1013) % stream_lines
+        cores.append(phased(
+            np.full(total_stream, int(AccessType.READ), dtype=np.uint8),
+            (stream_region.base + offsets).astype(np.int64),
+            np.full(total_stream, 20, dtype=np.uint16),
+            stream_per_phase,
+        ))
+    return TraceSet("RUNHEAVY", cores, regions)
+
+
 @pytest.fixture(scope="module")
 def shared_trace():
     config = MachineConfig.small()
@@ -59,7 +142,13 @@ def hotloop_trace():
     return config, build_trace(HOTLOOP_PROFILE, config, scale=1.0, seed=1)
 
 
-@pytest.mark.parametrize("kernel", ["reference", "fast"])
+@pytest.fixture(scope="module")
+def runheavy_trace():
+    config = MachineConfig.small()
+    return config, build_runheavy_traces(config)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("scheme", ["S-NUCA", "R-NUCA", "VR", "ASR", "RT-3"])
 def test_scheme_throughput(benchmark, shared_trace, scheme, kernel):
     config, traces = shared_trace
@@ -74,7 +163,7 @@ def test_scheme_throughput(benchmark, shared_trace, scheme, kernel):
     assert stats.completion_time > 0
 
 
-@pytest.mark.parametrize("kernel", ["reference", "fast"])
+@pytest.mark.parametrize("kernel", KERNELS)
 def test_hotloop_throughput(benchmark, hotloop_trace, kernel):
     config, traces = hotloop_trace
 
@@ -88,25 +177,39 @@ def test_hotloop_throughput(benchmark, hotloop_trace, kernel):
     assert stats.completion_time > 0
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_runheavy_throughput(benchmark, runheavy_trace, kernel):
+    config, traces = runheavy_trace
+
+    def run():
+        return simulate(make_scheme("RT-3", config), traces, kernel=kernel)
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["accesses_per_second"] = (
+        traces.total_accesses() / benchmark.stats.stats.mean
+    )
+    assert stats.completion_time > 0
+
+
+def _best_rate(kernel, scheme, config, traces, rounds=3):
+    accesses = traces.total_accesses()
+    best = float("inf")
+    for _ in range(rounds):
+        engine = make_scheme(scheme, config)
+        started = time.perf_counter()
+        simulate(engine, traces, kernel=kernel)
+        best = min(best, time.perf_counter() - started)
+    return accesses / best
+
+
 @pytest.mark.parametrize("scheme", ["S-NUCA", "RT-3"])
 def test_fast_kernel_speedup_at_least_2x(hotloop_trace, scheme):
     """Acceptance gate: ≥2× simulated-accesses/sec over the reference
     kernel in the hit-heavy regime (measured ~3×; 2× leaves headroom,
     and REPRO_KERNEL_SPEEDUP_MIN relaxes the floor on noisy runners)."""
     config, traces = hotloop_trace
-    accesses = traces.total_accesses()
-
-    def best_of(kernel, rounds=3):
-        best = float("inf")
-        for _ in range(rounds):
-            engine = make_scheme(scheme, config)
-            started = time.perf_counter()
-            simulate(engine, traces, kernel=kernel)
-            best = min(best, time.perf_counter() - started)
-        return accesses / best
-
-    reference_rate = best_of("reference")
-    fast_rate = best_of("fast")
+    reference_rate = _best_rate("reference", scheme, config, traces)
+    fast_rate = _best_rate("fast", scheme, config, traces)
     speedup = fast_rate / reference_rate
     print(
         f"\n{scheme}: reference {reference_rate:,.0f} acc/s, "
@@ -115,6 +218,25 @@ def test_fast_kernel_speedup_at_least_2x(hotloop_trace, scheme):
     assert speedup >= SPEEDUP_FLOOR, (
         f"fast kernel only {speedup:.2f}x over reference on {scheme} "
         f"(required >= {SPEEDUP_FLOOR}x)"
+    )
+
+
+@pytest.mark.parametrize("scheme", ["S-NUCA", "RT-3"])
+def test_batched_kernel_speedup_on_runheavy(runheavy_trace, scheme):
+    """Acceptance gate: the batched kernel is ≥1.3× the *fast* kernel on
+    the run-heavy regime (measured ~1.5×; REPRO_BATCHED_SPEEDUP_MIN
+    relaxes the floor on noisy runners)."""
+    config, traces = runheavy_trace
+    fast_rate = _best_rate("fast", scheme, config, traces)
+    batched_rate = _best_rate("batched", scheme, config, traces)
+    speedup = batched_rate / fast_rate
+    print(
+        f"\n{scheme}: fast {fast_rate:,.0f} acc/s, "
+        f"batched {batched_rate:,.0f} acc/s — {speedup:.2f}x"
+    )
+    assert speedup >= BATCHED_SPEEDUP_FLOOR, (
+        f"batched kernel only {speedup:.2f}x over fast on {scheme} "
+        f"(required >= {BATCHED_SPEEDUP_FLOOR}x)"
     )
 
 

@@ -18,7 +18,8 @@ Options::
     --scale FLOAT             trace-length multiplier (default: 1.0)
     --seed INT                workload seed (default: 1)
     --benchmarks A,B,C        restrict the benchmark list
-    --kernel {reference,fast} simulation kernel (default: fast; both are
+    --kernel {reference,fast,batched}
+                              simulation kernel (default: fast; all are
                               differentially verified bit-identical)
 
 The default ``small`` machine (16 cores, scaled caches) regenerates the
@@ -60,7 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the comparison matrix on N worker "
                              "processes (0 = sequential)")
     parser.add_argument("--kernel", choices=tuple(kernel_names()), default=None,
-                        help="simulation kernel (default: fast; both kernels "
+                        help="simulation kernel (default: fast; all kernels "
                              "are differentially verified bit-identical)")
     return parser
 

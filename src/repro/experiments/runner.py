@@ -53,7 +53,7 @@ class ExperimentSetup:
     seed: int = 1
     asr_levels: tuple[float, ...] = ASRScheme.LEVELS
     #: Simulation kernel name (None → REPRO_SIM_KERNEL env var → "fast").
-    #: Both kernels are differentially verified bit-identical, so this
+    #: All kernels are differentially verified bit-identical, so this
     #: only trades speed, never results.
     kernel: str | None = None
 

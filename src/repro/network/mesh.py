@@ -36,6 +36,12 @@ class Mesh:
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
         self.topology = MeshTopology(config.num_cores)
+        #: XY routes are static, so the directed-link sequence of every
+        #: (src, dst) pair is computed once and reused — ``send`` sits on
+        #: the miss path of every simulation kernel and re-walking the
+        #: coordinate math per message dominated its cost.
+        self._route_cache: dict[tuple[int, int], tuple[tuple[int, int], ...]] = {}
+        self._hop_latency = config.hop_latency
         #: Per directed link: (epoch index, flits carried in that epoch).
         self._link_load: dict[tuple[int, int], tuple[int, int]] = {}
         # -- counters consumed by the energy model --------------------------
@@ -64,11 +70,16 @@ class Mesh:
         self.total_flits += flits
         if src == dst:
             return depart
+        route = self._route_cache.get((src, dst))
+        if route is None:
+            route = tuple(self.topology.route(src, dst))
+            self._route_cache[(src, dst)] = route
         now = depart
-        hops = 0
-        for link in self.topology.route(src, dst):
-            now += self._link_delay(link, flits, now) + self.config.hop_latency
-            hops += 1
+        hop_latency = self._hop_latency
+        link_delay = self._link_delay
+        for link in route:
+            now += link_delay(link, flits, now) + hop_latency
+        hops = len(route)
         self.router_flit_traversals += flits * (hops + 1)
         self.link_flit_traversals += flits * hops
         # Tail flit trails the head by (flits - 1) cycles of serialization.

@@ -306,6 +306,139 @@ class ProtocolEngine:
 
         return fast_access
 
+    def make_batched_access(self, charge_gaps: bool = False):
+        """Run-servicing entry point for the batched simulation kernel.
+
+        Returns a closure ``run_hits(core, decoded, index, stop, now,
+        limit, strict)`` that executes records ``decoded[index:]`` for as
+        long as they are L1 hits, stopping at the first of:
+
+        * a record that misses the L1 (including a write against a
+          SHARED copy, which needs a directory upgrade) — the kernel
+          services it through the fast-access miss path;
+        * ``stop`` — the run boundary the kernel computed (the next
+          barrier record or the end of the trace);
+        * the scheduling limit — after a record completes at time ``t``,
+          the core must yield when ``t > limit`` (or ``t >= limit`` if
+          ``strict`` is False, i.e. the heap-front core wins the tie).
+
+        Returns ``(index, now, yielded)``: the first unexecuted record,
+        the core's clock, and whether the stop was a scheduling yield.
+        The closure owns the whole run's statistics: one flush of the
+        hit/energy/latency counters per run, with the Compute bucket
+        charged from the decoded trace's numpy ``gap_prefix`` slice
+        (``charge_gaps`` switches to per-record charging, which the
+        kernel requests when gaps are fractional and the reference
+        accumulation order is therefore observable).
+
+        All side effects are bit-identical to issuing the same records
+        through :meth:`access` — enforced by ``repro.testing``.  Returns
+        ``None`` (kernel falls back to the fast path) when the
+        specialization guards fail: :meth:`access`/:meth:`_l1_energy`
+        overrides (same rule as :meth:`make_fast_access`), non-stock L1
+        cache objects, TLA hints (hints send per-hit mesh messages, so
+        hits are not schedule-free), or a fractional L1 latency (the
+        flushed ``n * l1_latency`` sum is only exact for integers).
+        """
+        if (
+            "access" in self.__dict__
+            or "_l1_energy" in self.__dict__
+            or type(self).access is not ProtocolEngine.access
+            or type(self)._l1_energy is not ProtocolEngine._l1_energy
+        ):
+            return None
+        if self.config.tla_hints:
+            return None
+        if not float(self.config.l1_latency).is_integer():
+            return None
+        if any(type(cache) is not L1Cache for cache in (*self.l1i, *self.l1d)):
+            return None
+
+        l1_latency = self.config.l1_latency
+        stats = self.stats
+        counters = stats.counters
+        latency_buckets = stats.latency
+        miss_status = stats.miss_status
+        energy_counts = stats.energy_counts
+        # type(cache) is L1Cache above makes probe_hit's body the one we
+        # inline here: _array.access plus the write-permission check.
+        instr_probe = [cache._array.access for cache in self.l1i]
+        data_probe = [cache._array.access for cache in self.l1d]
+        READ = AccessType.READ
+        WRITE = AccessType.WRITE
+        MODIFIED = MESIState.MODIFIED
+        L1_HIT = MissStatus.L1_HIT
+        COMPUTE = stat_names.COMPUTE
+        L1_HIT_TIME = stat_names.L1_HIT_TIME
+        L1I_READ = energy_events.L1I_READ
+        L1D_READ = energy_events.L1D_READ
+        L1D_WRITE = energy_events.L1D_WRITE
+
+        def run_hits(core, decoded, index, stop, now, limit, strict):
+            atypes = decoded.atypes
+            lines = decoded.lines
+            gaps = decoded.gaps
+            probe_data = data_probe[core]
+            probe_instr = instr_probe[core]
+            start = index
+            n_data = 0
+            n_instr = 0
+            n_write = 0
+            yielded = False
+            while index < stop:
+                atype = atypes[index]
+                line_addr = lines[index]
+                if atype is READ:
+                    entry = probe_data(line_addr)
+                    if entry is None:
+                        break
+                    n_data += 1
+                elif atype is WRITE:
+                    entry = probe_data(line_addr)
+                    if entry is None or not entry.state.writable:
+                        break
+                    entry.state = MODIFIED
+                    entry.dirty = True
+                    n_data += 1
+                    n_write += 1
+                else:  # IFETCH (barriers never appear inside a run)
+                    entry = probe_instr(line_addr)
+                    if entry is None:
+                        break
+                    n_instr += 1
+                gap = gaps[index]
+                index += 1
+                if charge_gaps and gap:
+                    latency_buckets[COMPUTE] += gap
+                # Same two-step accumulation as the reference loop
+                # (issue = now + gap; now = issue + latency): float
+                # addition is not associative, so the grouping is part
+                # of the bit-identity contract.
+                now = now + gap + l1_latency
+                if now >= limit and (not strict or now > limit):
+                    yielded = True
+                    break
+            hits = index - start
+            if hits:
+                if not charge_gaps:
+                    gap_prefix = decoded.gap_prefix
+                    run_gaps = float(gap_prefix[index] - gap_prefix[start])
+                    if run_gaps:
+                        latency_buckets[COMPUTE] += run_gaps
+                latency_buckets[L1_HIT_TIME] += hits * l1_latency
+                miss_status[L1_HIT] += hits
+                if n_data:
+                    counters["l1d_hits"] += n_data
+                    energy_counts[L1D_READ] += n_data
+                if n_instr:
+                    counters["l1i_hits"] += n_instr
+                    energy_counts[L1I_READ] += n_instr
+                if n_write:
+                    energy_counts[L1D_WRITE] += n_write
+            return index, now, yielded
+
+        return run_hits
+
     # ------------------------------------------------------------------
     # Miss handling
     # ------------------------------------------------------------------
@@ -329,32 +462,45 @@ class ProtocolEngine:
     def _home_request(
         self, core: int, line_addr: int, write: bool, is_ifetch: bool, now: float
     ) -> AccessResult:
-        """The full request/response transaction with the home directory."""
+        """The full request/response transaction with the home directory.
+
+        This is the head of the miss path, hot for every kernel, so the
+        per-transaction ``self`` attribute chains are bound to locals up
+        front (``make_fast_access``-style specialization carried into the
+        miss path; the mesh's ``send`` fast path below is shared by the
+        fast and batched kernels through these bindings).
+        """
+        mesh_send = self.mesh.send
+        latency_buckets = self.stats.latency
+        line_busy = self._line_busy
+
         self.placement.observe_access(line_addr, core, is_ifetch)
         home = self._resolve_home(core, line_addr, is_ifetch, now)
 
-        request_arrive = self.mesh.send(core, home, self._control_flits, now) \
+        request_arrive = mesh_send(core, home, self._control_flits, now) \
             if home != core else now
 
         busy_key = (home, line_addr)
-        busy_until = self._line_busy.get(busy_key, 0.0)
+        busy_until = line_busy.get(busy_key, 0.0)
         wait = busy_until - request_arrive if busy_until > request_arrive else 0.0
-        self.stats.add_latency(stat_names.LLC_HOME_WAITING, wait)
+        latency_buckets[stat_names.LLC_HOME_WAITING] += wait
         t = request_arrive + wait
 
         t, status, grant, sharer_latency, offchip_latency = self._home_access(
             home, core, line_addr, write, is_ifetch, t
         )
-        self._line_busy[busy_key] = t
+        line_busy[busy_key] = t
 
-        response_arrive = self.mesh.send(home, core, self._data_flits, t) \
+        response_arrive = mesh_send(home, core, self._data_flits, t) \
             if home != core else t
         total = response_arrive - now
 
         home_component = total - wait - sharer_latency - offchip_latency
-        self.stats.add_latency(stat_names.L1_TO_LLC_HOME, max(0.0, home_component))
-        self.stats.add_latency(stat_names.LLC_HOME_TO_SHARERS, sharer_latency)
-        self.stats.add_latency(stat_names.LLC_HOME_TO_OFFCHIP, offchip_latency)
+        if home_component < 0.0:
+            home_component = 0.0
+        latency_buckets[stat_names.L1_TO_LLC_HOME] += home_component
+        latency_buckets[stat_names.LLC_HOME_TO_SHARERS] += sharer_latency
+        latency_buckets[stat_names.LLC_HOME_TO_OFFCHIP] += offchip_latency
         return AccessResult(total, status, grant)
 
     def _home_access(

@@ -19,12 +19,29 @@ and reschedules it.  Two interchangeable kernels implement that loop:
   runs a core *inline* for as long as it remains globally earliest,
   skipping heap push/pop pairs entirely.
 
-Both kernels produce **identical** :class:`~repro.sim.stats.SimStats` —
-not merely statistically equivalent: the fast kernel processes events in
-exactly the order the reference kernel would, and every floating-point
-accumulation it batches is a sum of integer-valued cycle counts, which
-is order-independent.  The :mod:`repro.testing` differential harness
-enforces this equivalence across schemes, workloads and seeds.
+* :class:`BatchedKernel` — the run-length hot path.  Where the fast
+  kernel still pays per-record kernel overhead (a closure call plus a
+  heap-front tuple comparison and several Counter updates per access),
+  the batched kernel hands whole *runs* of same-core L1 hits to the
+  engine's run-servicing closure
+  (:meth:`~repro.schemes.base.ProtocolEngine.make_batched_access`):
+  one call services every consecutive hit until the next miss, barrier
+  (:class:`DecodedTrace` ``run_stops``), or scheduling yield, and
+  flushes the run's statistics once (Compute charged from the decoded
+  ``gap_prefix`` numpy slice).  Misses go through the same specialized
+  fast-access path the fast kernel uses.  When the engine declines the
+  specialization (overridden hooks, TLA hints), the batched kernel
+  falls back to the fast loop wholesale.
+
+All kernels produce **identical** :class:`~repro.sim.stats.SimStats` —
+not merely statistically equivalent: the optimized kernels process
+events in exactly the order the reference kernel would, every
+floating-point accumulation they batch is a sum of integer-valued cycle
+counts (order-independent), and the per-event clock arithmetic keeps
+the reference's exact operation grouping (float addition is not
+associative).  The :mod:`repro.testing` differential harness enforces
+this equivalence across schemes, workloads and seeds — and nightly over
+randomized fuzzed profiles.
 
 Kernels accept an optional ``perturb_seed``: when set, *scheduler
 pushes* that are provably order-free — the time-zero seeding of the
@@ -275,10 +292,187 @@ class FastKernel(SimulationKernel):
                     break
 
 
+class BatchedKernel(FastKernel):
+    """Run-length batched event loop — bit-identical to the reference.
+
+    The locality phenomenon the paper exploits — long same-core runs of
+    accesses that hit close to the core — is also the simulator's own
+    hot path: in hit-heavy regimes the fast kernel spends most of its
+    time on per-record loop overhead for records that cannot affect the
+    schedule (an L1 hit costs exactly ``l1_latency`` and touches no
+    shared resource).  This kernel amortizes that overhead over whole
+    runs:
+
+    1. when a core is popped (globally earliest), the upcoming run's
+       hard boundary is read from the decoded trace's ``run_stops``
+       (next barrier / end of trace) — a batch never crosses a barrier;
+    2. the scheduling budget is frozen once per run: the heap front is
+       invariant while the core executes inline, so its (time, core)
+       tie-break collapses to one float ``limit`` plus a strictness bit
+       instead of a tuple comparison per record;
+    3. the engine's :meth:`make_batched_access` closure services every
+       consecutive L1 hit inside those bounds in one tight loop with a
+       single statistics flush per run (Compute charged from the numpy
+       ``gap_prefix`` slice when gaps are integral);
+    4. the record that ends the run — a miss — goes through the same
+       specialized fast-access path the fast kernel uses, followed by
+       the exact heap check the fast kernel would perform.
+
+    Per-record clock arithmetic keeps the reference grouping
+    (``(now + gap) + latency``), so results are bit-identical even with
+    fractional timestamps; when the engine declines the specialization
+    (overridden hooks, TLA hints, non-stock L1s), the whole run()
+    falls back to :class:`FastKernel`.
+    """
+
+    name = "batched"
+
+    #: Minimum scheduling budget, in multiples of the L1 hit latency,
+    #: before a run is handed to the engine's batched closure.  Below it
+    #: the per-run overhead (closure call + statistics flush) exceeds the
+    #: per-record savings, so records are single-stepped exactly like the
+    #: fast kernel.  Purely a performance heuristic: the closure enforces
+    #: the budget per record regardless, so any value is bit-identical.
+    BATCH_MIN_L1_LATENCIES = 8.0
+
+    def run(self, engine: "ProtocolEngine", traces: "TraceSet") -> None:
+        stats = engine.stats
+        num_cores = engine.config.num_cores
+        decoded = traces.decoded()
+
+        charge_gaps = not all(d.gaps_integral for d in decoded)
+        maker = getattr(engine, "make_batched_access", None)
+        run_hits = maker(charge_gaps=charge_gaps) if maker is not None else None
+        if run_hits is None:
+            super().run(engine, traces)
+            return
+        fast_access = None
+        fast_maker = getattr(engine, "make_fast_access", None)
+        if fast_maker is not None:
+            fast_access = fast_maker()
+        if fast_access is None:
+            engine_access = engine.access
+
+            def fast_access(core, atype, line_addr, now, _access=engine_access):
+                return _access(core, atype, line_addr, now).latency
+
+        lengths = [d.length for d in decoded]
+        gaps = [d.gaps for d in decoded]
+        atypes = [d.atypes for d in decoded]
+        lines = [d.lines for d in decoded]
+        run_stops = [d.run_stops for d in decoded]
+
+        add_latency = stats.add_latency
+        latency_buckets = stats.latency
+        core_finish = stats.core_finish
+        heappush, heappop = heapq.heappush, heapq.heappop
+        BARRIER = AccessType.BARRIER
+        COMPUTE = stat_names.COMPUTE
+        SYNCHRONIZATION = stat_names.SYNCHRONIZATION
+        INFINITY = float("inf")
+        batch_margin = self.BATCH_MIN_L1_LATENCIES * engine.config.l1_latency
+
+        rng = self._rng()
+        positions = [0] * num_cores
+        waiting: dict[int, float] = {}
+        finished = 0
+        seed_order = list(range(num_cores))
+        if rng is not None:
+            rng.shuffle(seed_order)
+        ready: list[tuple[float, int]] = [(0.0, core) for core in seed_order]
+        heapq.heapify(ready)
+
+        def release_barrier() -> None:
+            release_time = max(waiting.values())
+            # Charge waits in deterministic (arrival) order — see the
+            # reference kernel: only heap pushes are provably order-free.
+            for wcore, arrival in waiting.items():
+                wait = release_time - arrival
+                if wait:
+                    add_latency(SYNCHRONIZATION, wait)
+            released = list(waiting)
+            if rng is not None:
+                rng.shuffle(released)
+            for wcore in released:
+                heappush(ready, (release_time, wcore))
+            waiting.clear()
+
+        while ready:
+            now, core = heappop(ready)
+            # The heap is untouched while this core runs inline, so the
+            # scheduling budget (front time + tie-break) is per-pop.
+            if ready:
+                limit, front_core = ready[0]
+                strict = front_core > core  # tie → this core keeps running
+            else:
+                limit = INFINITY
+                strict = True
+            # Runs shorter than the batch margin (a core in lockstep with
+            # the heap front) are single-stepped; the closure only engages
+            # once this core has fallen far enough behind the pack that a
+            # long hit run can amortize the flush.
+            batch_below = limit - batch_margin
+            core_decoded = decoded[core]
+            core_stops = run_stops[core]
+            core_atypes = atypes[core]
+            core_lines = lines[core]
+            core_gaps = gaps[core]
+            length = lengths[core]
+            index = positions[core]
+            while True:
+                if index >= length:
+                    finished += 1
+                    core_finish[core] = now
+                    if waiting and len(waiting) + finished >= num_cores:
+                        release_barrier()
+                    break
+                if now <= batch_below:
+                    stop = core_stops[index]
+                    if stop > index:
+                        index, now, yielded = run_hits(
+                            core, core_decoded, index, stop, now, limit, strict
+                        )
+                        if yielded:
+                            positions[core] = index
+                            heappush(ready, (now, core))
+                            break
+                        if index >= length:
+                            continue  # finished inline — handled at loop top
+                        # Fall through: the record at ``index`` missed the
+                        # L1 (or is the run-bounding barrier) and is
+                        # single-stepped below.
+                # Single-step one record — the fast kernel's iteration:
+                # per-record Compute charge (exact: integral sums, or the
+                # reference's own order), specialized access, then the
+                # exact heap check.
+                atype = core_atypes[index]
+                index += 1
+                if atype is BARRIER:
+                    # Park the core (no heap check — the fast kernel
+                    # breaks here too; the release re-arms us).
+                    positions[core] = index
+                    waiting[core] = now
+                    if len(waiting) + finished >= num_cores:
+                        release_barrier()
+                    break
+                gap = core_gaps[index - 1]
+                if gap:
+                    latency_buckets[COMPUTE] += gap
+                issue_time = now + gap
+                now = issue_time + fast_access(
+                    core, atype, core_lines[index - 1], issue_time
+                )
+                if ready and ready[0] < (now, core):
+                    positions[core] = index
+                    heappush(ready, (now, core))
+                    break
+
+
 #: Registered kernels by name (extension point for future accelerated cores).
 KERNELS: dict[str, type[SimulationKernel]] = {
     ReferenceKernel.name: ReferenceKernel,
     FastKernel.name: FastKernel,
+    BatchedKernel.name: BatchedKernel,
 }
 
 #: Kernel used when the caller does not choose one.  The fast kernel is

@@ -15,8 +15,10 @@ guarantees all cores carry the same number of barriers.
 
 The event loop itself is pluggable (:mod:`repro.sim.kernel`): the
 ``reference`` kernel is the simple per-record baseline, the ``fast``
-kernel is the hoisted/run-ahead hot path, and both are bit-identical —
-an equivalence the :mod:`repro.testing` differential harness enforces.
+kernel is the hoisted/run-ahead hot path, and the ``batched`` kernel
+services whole runs of same-core L1 hits per scheduler entry; all three
+are bit-identical — an equivalence the :mod:`repro.testing` differential
+harness enforces (continuously over fuzzed profiles in the nightly CI).
 Select a kernel per call (``simulate(..., kernel="reference")``), per
 process (``REPRO_SIM_KERNEL=reference``), or via the experiment CLI
 (``python -m repro.experiments --kernel reference ...``).
@@ -28,6 +30,7 @@ from repro.schemes.base import ProtocolEngine
 from repro.sim.kernel import (  # noqa: F401  (re-exported for convenience)
     DEFAULT_KERNEL,
     KERNELS,
+    BatchedKernel,
     FastKernel,
     ReferenceKernel,
     SimulationKernel,
@@ -45,9 +48,9 @@ def simulate(
     """Run ``traces`` through ``engine`` and return the collected stats.
 
     ``kernel`` selects the event-loop implementation by name
-    (``"fast"``/``"reference"``), instance, or class; ``None`` uses the
-    ``REPRO_SIM_KERNEL`` environment variable, defaulting to the fast
-    kernel.
+    (``"fast"``/``"batched"``/``"reference"``), instance, or class;
+    ``None`` uses the ``REPRO_SIM_KERNEL`` environment variable,
+    defaulting to the fast kernel.
     """
     config = engine.config
     if traces.num_cores != config.num_cores:

@@ -42,10 +42,28 @@ class DecodedTrace:
       integer-valued: only then is the batched float sum order-independent
       (exact), so kernels must fall back to per-record charging when it is
       False to stay bit-identical to the reference accumulation order.
+
+    Two run-length views support the batched kernel, which services whole
+    runs of same-core L1 hits without re-entering the scheduler.  Both
+    are computed lazily on first access (cached) — only the batched
+    kernel reads them, and the reference/fast kernels should not pay for
+    their construction:
+
+    * ``run_stops`` — for each index, the index of the next barrier record
+      at or after it (or the trace length).  A batched run starting at
+      ``i`` may never execute past ``run_stops[i]``: barriers are global
+      synchronization events the event loop must arbitrate.
+    * ``gap_prefix`` — ``float64`` prefix sums of the raw gaps
+      (``gap_prefix[j] - gap_prefix[i]`` is the compute charge of records
+      ``[i, j)``), so a run's Compute contribution is one vectorized
+      numpy-slice difference instead of per-record accumulation.  Exact —
+      and therefore usable by a bit-identical kernel — only when
+      ``gaps_integral`` (integer partial sums are order-independent).
     """
 
     __slots__ = (
         "atypes", "lines", "gaps", "length", "compute_cycles", "gaps_integral",
+        "_types_array", "_gaps_array", "_run_stops", "_gap_prefix",
     )
 
     def __init__(self, trace: "CoreTrace") -> None:
@@ -61,6 +79,34 @@ class DecodedTrace:
         self.gaps_integral = trace.gaps.dtype.kind in "iub" or bool(
             np.all(trace.gaps == np.floor(trace.gaps))
         )
+        # Backing arrays retained for the lazy run-length views; frozen
+        # while this decoded view is cached (see CoreTrace.decoded).
+        self._types_array = trace.types
+        self._gaps_array = trace.gaps
+        self._run_stops: list[int] | None = None
+        self._gap_prefix: np.ndarray | None = None
+
+    @property
+    def run_stops(self) -> list[int]:
+        stops = self._run_stops
+        if stops is None:
+            barrier_at = np.flatnonzero(self._types_array == AccessType.BARRIER)
+            boundaries = np.append(barrier_at, self.length)
+            stops = boundaries[
+                np.searchsorted(barrier_at, np.arange(self.length), side="left")
+            ].tolist()
+            self._run_stops = stops
+        return stops
+
+    @property
+    def gap_prefix(self) -> np.ndarray:
+        prefix = self._gap_prefix
+        if prefix is None:
+            prefix = np.concatenate(
+                ([0.0], np.cumsum(self._gaps_array, dtype=np.float64))
+            )
+            self._gap_prefix = prefix
+        return prefix
 
 
 @dataclasses.dataclass

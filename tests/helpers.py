@@ -22,18 +22,79 @@ class FixedLatencyEngine:
     computable, which makes the kernel scheduling properties testable in
     isolation from the machine model.  Records every dispatched access in
     ``calls`` as ``(core, access_type_value, line, issue_time)``.
+
+    Implements :meth:`make_batched_access` (the batched kernel's
+    run-servicing contract — see
+    :meth:`repro.schemes.base.ProtocolEngine.make_batched_access`) so the
+    kernel's run boundaries are testable in isolation: every record is a
+    "hit" at the fixed latency except lines in ``batch_miss_lines``,
+    which the closure refuses so the kernel must single-step them through
+    :meth:`access`.  Closure-serviced records land in the same ``calls``
+    list with the same issue timestamps, so a divergence from the
+    reference kernel pinpoints a run that crossed a boundary it must not
+    cross (barrier, scheduling yield, or a non-batchable record).
     """
 
-    def __init__(self, num_cores: int, latency: float = 5.0) -> None:
-        self.config = types.SimpleNamespace(num_cores=num_cores)
+    def __init__(
+        self,
+        num_cores: int,
+        latency: float = 5.0,
+        batch_miss_lines: frozenset[int] = frozenset(),
+    ) -> None:
+        self.config = types.SimpleNamespace(num_cores=num_cores, l1_latency=latency)
         self.stats = SimStats(num_cores)
         self.latency = latency
+        self.batch_miss_lines = batch_miss_lines
         self.calls: list[tuple[int, int, int, float]] = []
 
     def access(self, core: int, atype: AccessType, line_addr: int, now: float) -> AccessResult:
         self.calls.append((core, int(atype), line_addr, now))
         self.stats.record_miss(MissStatus.L1_HIT)
         return AccessResult(self.latency, MissStatus.L1_HIT)
+
+    def make_batched_access(self, charge_gaps: bool = False):
+        from repro.sim import stats as stat_names
+
+        latency = self.latency
+        miss_lines = self.batch_miss_lines
+        calls = self.calls
+        miss_status = self.stats.miss_status
+        latency_buckets = self.stats.latency
+        COMPUTE = stat_names.COMPUTE
+        L1_HIT = MissStatus.L1_HIT
+
+        def run_hits(core, decoded, index, stop, now, limit, strict):
+            atypes = decoded.atypes
+            lines = decoded.lines
+            gaps = decoded.gaps
+            start = index
+            yielded = False
+            while index < stop:
+                line_addr = lines[index]
+                if line_addr in miss_lines:
+                    break
+                atype = atypes[index]
+                gap = gaps[index]
+                index += 1
+                if charge_gaps and gap:
+                    latency_buckets[COMPUTE] += gap
+                issue_time = now + gap
+                calls.append((core, int(atype), line_addr, issue_time))
+                now = issue_time + latency
+                if now >= limit and (not strict or now > limit):
+                    yielded = True
+                    break
+            hits = index - start
+            if hits:
+                if not charge_gaps:
+                    gap_prefix = decoded.gap_prefix
+                    run_gaps = float(gap_prefix[index] - gap_prefix[start])
+                    if run_gaps:
+                        latency_buckets[COMPUTE] += run_gaps
+                miss_status[L1_HIT] += hits
+            return index, now, yielded
+
+        return run_hits
 
     def finalize(self) -> None:
         pass

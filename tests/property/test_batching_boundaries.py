@@ -1,0 +1,158 @@
+"""Batched-kernel boundary properties, isolated via the stub engine.
+
+The batched kernel may service a run of records in one closure call
+*only* inside three boundaries: the next barrier record (``run_stops``),
+the scheduling limit (the heap-front core would become globally earliest
+— a remote event could interleave), and any record the engine refuses to
+batch.  With the fixed-latency stub every event time is exactly
+computable and every dispatched access is logged, so a run that crosses
+a boundary shows up as a diverging call sequence or statistic against
+the reference kernel.  (This simulator has no timer events; barriers and
+cross-core earliest switches are the only scheduler arbitration points,
+and both are exercised here.)
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import AccessType
+from repro.sim.kernel import BatchedKernel
+from repro.sim.simulator import simulate
+from tests.helpers import FixedLatencyEngine, records_trace_set
+
+NUM_CORES = 4
+
+_gap_lists = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=0, max_size=10
+)
+
+
+def _records(gaps, base_line=0):
+    return [(AccessType.READ, base_line + i, gap) for i, gap in enumerate(gaps)]
+
+
+class TestBatchingBoundaries:
+    @given(
+        per_core_gaps=st.lists(_gap_lists, min_size=NUM_CORES, max_size=NUM_CORES),
+        barrier_positions=st.lists(
+            st.integers(min_value=0, max_value=10), min_size=0, max_size=3
+        ),
+        latency=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_barriers_and_earliest_switches_are_never_crossed(
+        self, per_core_gaps, barrier_positions, latency
+    ):
+        """The batched kernel dispatches the exact reference event
+        sequence — same accesses, same order, same issue timestamps —
+        for arbitrary gap programs and barrier placements."""
+        per_core = []
+        for core, gaps in enumerate(per_core_gaps):
+            records = _records(gaps, base_line=100 * core)
+            for offset, position in enumerate(sorted(barrier_positions)):
+                records.insert(
+                    min(position + offset, len(records)),
+                    (AccessType.BARRIER, 0, 0),
+                )
+            per_core.append(records)
+        traces = records_trace_set(per_core)
+        engines = {}
+        for kernel in ("reference", "batched"):
+            engine = FixedLatencyEngine(NUM_CORES, latency=float(latency))
+            simulate(engine, traces, kernel=kernel)
+            engines[kernel] = engine
+        assert engines["reference"].calls == engines["batched"].calls
+        assert (
+            engines["reference"].stats.core_finish
+            == engines["batched"].stats.core_finish
+        )
+        assert engines["reference"].stats.latency == engines["batched"].stats.latency
+        assert (
+            engines["reference"].stats.miss_status
+            == engines["batched"].stats.miss_status
+        )
+
+    @given(
+        per_core_gaps=st.lists(_gap_lists, min_size=NUM_CORES, max_size=NUM_CORES),
+        miss_modulus=st.integers(min_value=2, max_value=5),
+        latency=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_non_batchable_records_fall_back_to_single_stepping(
+        self, per_core_gaps, miss_modulus, latency
+    ):
+        """Records the engine refuses to batch (stub: every line ≡ 0 mod
+        ``miss_modulus``) must be single-stepped through access() at the
+        reference timestamps — runs stop exactly at the refused record."""
+        per_core = [
+            _records(gaps, base_line=100 * core)
+            for core, gaps in enumerate(per_core_gaps)
+        ]
+        traces = records_trace_set(per_core)
+        miss_lines = frozenset(
+            line
+            for records in per_core
+            for _atype, line, _gap in records
+            if line % miss_modulus == 0
+        )
+        engines = {}
+        for kernel in ("reference", "batched"):
+            engine = FixedLatencyEngine(
+                NUM_CORES, latency=float(latency), batch_miss_lines=miss_lines
+            )
+            simulate(engine, traces, kernel=kernel)
+            engines[kernel] = engine
+        assert engines["reference"].calls == engines["batched"].calls
+        assert (
+            engines["reference"].stats.latency == engines["batched"].stats.latency
+        )
+
+    @given(
+        gaps=_gap_lists,
+        latency=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lone_core_services_whole_trace_in_runs(self, gaps, latency):
+        """With every other core empty the heap drains immediately, the
+        scheduling limit is infinite, and the only boundaries left are
+        barriers/end-of-trace — the solo core's events must still match
+        the reference exactly."""
+        per_core = [_records(gaps)] + [[] for _ in range(NUM_CORES - 1)]
+        traces = records_trace_set(per_core)
+        engines = {}
+        for kernel in ("reference", "batched"):
+            engine = FixedLatencyEngine(NUM_CORES, latency=float(latency))
+            simulate(engine, traces, kernel=kernel)
+            engines[kernel] = engine
+        assert engines["reference"].calls == engines["batched"].calls
+        assert (
+            engines["reference"].stats.core_finish
+            == engines["batched"].stats.core_finish
+        )
+
+    def test_batched_kernel_actually_batches_on_the_stub(self):
+        """Meta-test: the stub engages the batched closure (the kernel
+        must not silently fall back to the fast loop), observed via the
+        batch margin — a solo core with an empty heap batches all
+        records in one run regardless of the margin."""
+        engine = FixedLatencyEngine(NUM_CORES, latency=2.0)
+        closure_calls = []
+        original = engine.make_batched_access
+
+        def counting_maker(charge_gaps=False):
+            run_hits = original(charge_gaps=charge_gaps)
+
+            def wrapped(*args):
+                closure_calls.append(args[2:4])  # (index, stop)
+                return run_hits(*args)
+
+            return wrapped
+
+        engine.make_batched_access = counting_maker
+        per_core = [_records([0] * 50)] + [[] for _ in range(NUM_CORES - 1)]
+        simulate(engine, records_trace_set(per_core), kernel=BatchedKernel())
+        # The first record single-steps (the empty cores still sit in the
+        # heap at t=0); once they drain, the rest is one batched run.
+        assert any(stop - index >= 49 for index, stop in closure_calls)

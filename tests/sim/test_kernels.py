@@ -10,6 +10,7 @@ from repro.schemes.snuca import SNucaScheme
 from repro.sim.kernel import (
     DEFAULT_KERNEL,
     KERNELS,
+    BatchedKernel,
     FastKernel,
     ReferenceKernel,
     SimulationKernel,
@@ -30,14 +31,16 @@ def traces_small(request):
 
 
 class TestKernelResolution:
-    def test_registry_contains_both_kernels(self):
-        assert set(kernel_names()) == {"reference", "fast"}
+    def test_registry_contains_all_kernels(self):
+        assert set(kernel_names()) == {"reference", "fast", "batched"}
         assert KERNELS["fast"] is FastKernel
+        assert KERNELS["batched"] is BatchedKernel
         assert DEFAULT_KERNEL == "fast"
 
     def test_resolve_by_name(self):
         assert isinstance(resolve_kernel("reference"), ReferenceKernel)
         assert isinstance(resolve_kernel("fast"), FastKernel)
+        assert isinstance(resolve_kernel("batched"), BatchedKernel)
 
     def test_resolve_passes_instances_through(self):
         kernel = FastKernel(perturb_seed=3)
@@ -85,12 +88,39 @@ class TestDecodedTraces:
                 trace.gaps[non_barrier].sum()
             )
 
+    def test_run_stops_point_at_next_barrier(self, traces_small):
+        _config, traces = traces_small
+        for trace in traces.cores:
+            decoded = trace.decoded()
+            barriers = [
+                i for i, t in enumerate(trace.types) if t == AccessType.BARRIER
+            ]
+            assert barriers, "BARNES traces carry barriers"
+            for index in range(decoded.length):
+                expected = next(
+                    (b for b in barriers if b >= index), decoded.length
+                )
+                assert decoded.run_stops[index] == expected
+
+    def test_gap_prefix_matches_cumulative_gaps(self, traces_small):
+        _config, traces = traces_small
+        trace = traces.cores[0]
+        decoded = trace.decoded()
+        assert decoded.gap_prefix[0] == 0.0
+        assert len(decoded.gap_prefix) == decoded.length + 1
+        total = 0.0
+        for index, gap in enumerate(decoded.gaps):
+            assert decoded.gap_prefix[index] == total
+            total += gap
+        assert decoded.gap_prefix[decoded.length] == total
+
 
 class TestFractionalGaps:
-    def test_fractional_gaps_stay_bit_identical(self):
-        """Non-integer gaps disable batched Compute charging; the fast
-        kernel must match the reference's per-record accumulation order
-        exactly."""
+    @pytest.mark.parametrize("kernel", ["fast", "batched"])
+    def test_fractional_gaps_stay_bit_identical(self, kernel):
+        """Non-integer gaps disable batched Compute charging; the
+        optimized kernels must match the reference's per-record
+        accumulation order exactly."""
         import numpy as np
 
         from repro.common.params import MachineConfig
@@ -116,8 +146,8 @@ class TestFractionalGaps:
         )
         assert not traces.decoded()[0].gaps_integral
         baseline = simulate(SNucaScheme(config), traces, kernel="reference")
-        fast = simulate(SNucaScheme(config), traces, kernel="fast")
-        assert_stats_equal(baseline, fast, context="fractional gaps")
+        candidate = simulate(SNucaScheme(config), traces, kernel=kernel)
+        assert_stats_equal(baseline, candidate, context=f"fractional gaps {kernel}")
 
     def test_release_decoded_drops_cache(self, traces_small):
         _config, traces = traces_small
@@ -198,11 +228,91 @@ class TestFastAccessSpecialization:
         assert PlainSubclass(config).make_fast_access() is not None
 
 
+class TestBatchedAccessSpecialization:
+    def test_base_schemes_provide_batched_access(self, traces_small):
+        config, _traces = traces_small
+        for scheme in ("S-NUCA", "R-NUCA", "VR", "ASR", "RT-3"):
+            assert make_scheme(scheme, config).make_batched_access() is not None
+
+    def test_access_override_disables_batching_but_stays_exact(self, traces_small):
+        """An access() override must flow through the generic path — the
+        batched kernel falls back to the fast loop wholesale."""
+        config, traces = traces_small
+
+        class LoggingSNuca(SNucaScheme):
+            def __init__(self, cfg):
+                super().__init__(cfg)
+                self.seen = 0
+
+            def access(self, core, atype, line_addr, now):
+                self.seen += 1
+                return super().access(core, atype, line_addr, now)
+
+        assert LoggingSNuca(config).make_batched_access() is None
+        override_engine = LoggingSNuca(config)
+        overridden = simulate(override_engine, traces, kernel="batched")
+        assert override_engine.seen == traces.total_accesses()
+        baseline = simulate(SNucaScheme(config), traces, kernel="reference")
+        assert_stats_equal(baseline, overridden, context="batched override fallback")
+
+    def test_tla_hints_disable_batching(self, traces_small):
+        """TLA hints send a mesh message per Nth L1 hit — hits are no
+        longer schedule-free, so the run specialization must decline."""
+        config, traces = traces_small
+        tla_config = config.with_overrides(tla_hints=True)
+        engine = SNucaScheme(tla_config)
+        assert engine.make_batched_access() is None
+        # The kernel still produces bit-identical results via fallback.
+        baseline = simulate(SNucaScheme(tla_config), traces, kernel="reference")
+        batched = simulate(SNucaScheme(tla_config), traces, kernel="batched")
+        assert_stats_equal(baseline, batched, context="tla fallback")
+
+    def test_nonstock_l1_cache_disables_batching(self, traces_small):
+        from repro.cache.l1 import L1Cache
+
+        config, _traces = traces_small
+
+        class InstrumentedL1(L1Cache):
+            pass
+
+        engine = SNucaScheme(config)
+        engine.l1d[0] = InstrumentedL1(config.l1d)
+        assert engine.make_batched_access() is None
+
+    def test_batched_kernel_inline_finish_and_empty_cores(self):
+        """Cores whose whole trace is one run (no barriers, empty heap at
+        the end) finish inline; empty traces finish at t=0."""
+        import numpy as np
+
+        from repro.common.params import MachineConfig
+        from repro.workloads.trace import CoreTrace, TraceSet
+        from repro.common.addr import Region
+        from repro.common.types import LineClass
+
+        config = MachineConfig.tiny()
+        cores = []
+        for core in range(4):
+            n = 40 if core == 0 else 0
+            cores.append(
+                CoreTrace(
+                    types=np.full(n, int(AccessType.READ), dtype=np.uint8),
+                    lines=(np.arange(n, dtype=np.int64) % 8) + 64 * core,
+                    gaps=np.zeros(n, dtype=np.uint16),
+                )
+            )
+        traces = TraceSet("solo", cores, [(Region(0, 4096), LineClass.SHARED_RW)])
+        reference = simulate(SNucaScheme(config), traces, kernel="reference")
+        batched = simulate(SNucaScheme(config), traces, kernel="batched")
+        assert_stats_equal(reference, batched, context="solo core")
+        assert batched.core_finish[1] == 0.0
+        assert batched.completion_time == batched.core_finish[0] > 0
+
+
 class TestPerturbation:
     def test_perturbed_kernels_match_baseline(self, traces_small):
         config, traces = traces_small
         baseline = simulate(make_scheme("RT-3", config), traces, kernel="fast")
-        for kernel_cls in (ReferenceKernel, FastKernel):
+        for kernel_cls in (ReferenceKernel, FastKernel, BatchedKernel):
             perturbed = simulate(
                 make_scheme("RT-3", config),
                 traces,

@@ -1,0 +1,75 @@
+"""Golden-snapshot coverage for the fig9/fig10/rt-sweep matrices.
+
+The headline summary and Figure 6–8 matrix have been pinned since the
+kernel refactors began; these goldens extend the same ``GoldenStore`` +
+``--regold`` flow to the remaining experiment matrices (classifier-k
+sensitivity, cluster-size sensitivity, replication-threshold sweep) on a
+deterministic reduced configuration, so a refactor that shifts any of
+their simulated numbers fails tier-1 loudly.  Intentional changes are
+regenerated with ``REPRO_REGOLD=1`` (or ``pytest --regold``) and
+reviewed as JSON diffs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.experiments import fig9_limitedk, fig10_cluster, rt_sweep
+from repro.experiments.runner import ExperimentSetup
+from repro.testing.golden import round_floats
+
+#: Two benchmarks spanning the sensitive/insensitive extremes of the
+#: swept parameters, at a scale every CI run affords.
+MATRIX_BENCHMARKS = ("BARNES", "DEDUP")
+MATRIX_SCALE = 0.25
+MATRIX_SEED = 1
+
+
+@pytest.fixture(scope="module")
+def setup() -> ExperimentSetup:
+    return ExperimentSetup(
+        MachineConfig.tiny(), scale=MATRIX_SCALE, seed=MATRIX_SEED
+    )
+
+
+class TestMatrixGoldens:
+    def test_fig9_limitedk_golden(self, golden_store, setup):
+        results = fig9_limitedk.run_fig9(setup, benchmarks=list(MATRIX_BENCHMARKS))
+        energy, completion = fig9_limitedk.normalized_tables(
+            results, setup.config.num_cores
+        )
+        golden_store.check(
+            "fig9_limitedk_matrix",
+            round_floats({"energy": energy, "completion": completion}),
+        )
+
+    def test_fig10_cluster_golden(self, golden_store, setup):
+        results = fig10_cluster.run_fig10(setup, benchmarks=list(MATRIX_BENCHMARKS))
+        energy, completion = fig10_cluster.normalized_tables(results)
+        golden_store.check(
+            "fig10_cluster_matrix",
+            round_floats({"energy": energy, "completion": completion}),
+        )
+
+    def test_rt_sweep_golden(self, golden_store, setup):
+        results = rt_sweep.run_rt_sweep(setup, benchmarks=list(MATRIX_BENCHMARKS))
+        payload = {
+            "energy": {
+                benchmark: {
+                    f"RT-{rt}": row[rt].total_energy / row[rt_sweep.RT_VALUES[0]].total_energy
+                    for rt in rt_sweep.RT_VALUES
+                }
+                for benchmark, row in results.items()
+            },
+            "completion": {
+                benchmark: {
+                    f"RT-{rt}": row[rt].completion_time
+                    / row[rt_sweep.RT_VALUES[0]].completion_time
+                    for rt in rt_sweep.RT_VALUES
+                }
+                for benchmark, row in results.items()
+            },
+            "best_rt_by_edp": rt_sweep.best_rt_by_edp(results),
+        }
+        golden_store.check("rt_sweep_matrix", round_floats(payload))
