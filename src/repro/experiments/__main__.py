@@ -2,6 +2,7 @@
 
 Usage::
 
+    python -m repro.experiments --list
     python -m repro.experiments fig1 [options]
     python -m repro.experiments fig6|fig7|fig8 [options]
     python -m repro.experiments fig9|fig10|rt-sweep [options]
@@ -12,15 +13,30 @@ Usage::
     python -m repro.experiments summary [options]
     python -m repro.experiments all
 
+The subcommands are generated from the experiment registry
+(:mod:`repro.experiments.spec`); ``--list`` prints the catalog.
+
 Options::
 
     --machine {small,paper}   machine configuration (default: small)
     --scale FLOAT             trace-length multiplier (default: 1.0)
     --seed INT                workload seed (default: 1)
     --benchmarks A,B,C        restrict the benchmark list
-    --kernel {reference,fast,batched}
+    --parallel N              shard RunPoints over N worker processes
+    --kernel {reference,fast,batched,auto}
                               simulation kernel (default: fast; all are
-                              differentially verified bit-identical)
+                              differentially verified bit-identical;
+                              ``auto`` probes each trace's run-length
+                              structure and picks fast vs batched)
+    --no-cache                skip the on-disk result store for this
+                              invocation (in-memory dedup still applies)
+
+Results are content-addressed in a JSON-on-disk
+:class:`~repro.experiments.store.ResultStore` (relocate or disable it
+with ``REPRO_RESULT_CACHE``), so ``all`` performs each unique (scheme,
+benchmark, config, seed, scale) simulation at most once and repeated
+invocations reuse prior runs; the hit/miss accounting is printed to
+stderr after every invocation.
 
 The default ``small`` machine (16 cores, scaled caches) regenerates the
 full figure suite in minutes; ``paper`` uses the Table 1 configuration
@@ -34,16 +50,13 @@ import sys
 import time
 
 from repro.common.params import MachineConfig
-from repro.experiments import ablations, comparison, fig1_runlength, fig9_limitedk
-from repro.experiments import fig10_cluster, rt_sweep, storage, summary, tables
+from repro.experiments import spec as spec_registry
 from repro.experiments.runner import ExperimentSetup
-from repro.sim.kernel import kernel_names
+from repro.experiments.store import ResultStore
+from repro.sim.kernel import AUTO_KERNEL, kernel_names
 
-COMMANDS = (
-    "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "rt-sweep",
-    "replacement", "oracle", "tla", "strategy", "organization",
-    "breakdown", "table1", "table2", "storage", "summary", "all",
-)
+#: Registered commands plus the ``all`` expansion, in run order.
+COMMANDS = (*spec_registry.command_names(), "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,18 +64,26 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures and tables.",
     )
-    parser.add_argument("command", choices=COMMANDS)
+    parser.add_argument("command", nargs="?", choices=COMMANDS,
+                        help="experiment to run (see --list)")
+    parser.add_argument("--list", action="store_true", dest="list_commands",
+                        help="list the registered experiments and exit")
     parser.add_argument("--machine", choices=("small", "paper"), default="small")
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--benchmarks", type=str, default=None,
                         help="comma-separated benchmark names")
     parser.add_argument("--parallel", type=int, default=0, metavar="N",
-                        help="run the comparison matrix on N worker "
-                             "processes (0 = sequential)")
-    parser.add_argument("--kernel", choices=tuple(kernel_names()), default=None,
+                        help="shard each experiment grid's RunPoints over "
+                             "N worker processes (0 = sequential)")
+    parser.add_argument("--kernel", choices=(*kernel_names(), AUTO_KERNEL),
+                        default=None,
                         help="simulation kernel (default: fast; all kernels "
-                             "are differentially verified bit-identical)")
+                             "are differentially verified bit-identical; "
+                             "'auto' picks fast vs batched per trace)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result store "
+                             "(in-memory deduplication still applies)")
     return parser
 
 
@@ -71,130 +92,49 @@ def make_setup(args: argparse.Namespace) -> ExperimentSetup:
     return ExperimentSetup(config, scale=args.scale, seed=args.seed, kernel=args.kernel)
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def render_command_list() -> str:
+    """The ``--list`` catalog, generated from the registry."""
+    commands = spec_registry.registered_commands()
+    width = max(len(command.name) for command in commands)
+    lines = ["Registered experiments:"]
+    for command in commands:
+        kind = "grid" if command.is_grid else "report"
+        lines.append(f"  {command.name.ljust(width)}  [{kind:6s}] {command.description}")
+    lines.append(f"  {'all'.ljust(width)}  [meta  ] run every registered experiment")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None, store: ResultStore | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_commands:
+        print(render_command_list())
+        return 0
+    if args.command is None:
+        parser.error("a command is required (or --list to see them)")
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    if benchmarks is not None:
+        try:
+            spec_registry.validate_benchmarks(benchmarks)
+        except ValueError as exc:
+            parser.error(str(exc))
     setup = make_setup(args)
+    if store is None:
+        store = ResultStore.memory() if args.no_cache else ResultStore.from_env()
     started = time.time()
-    cache: dict = {"parallel": args.parallel}
-    for command in _expand(args.command):
-        _dispatch(command, setup, benchmarks, cache)
+    for name in _expand(args.command):
+        command = spec_registry.get_command(name)
+        print(command.run(setup, benchmarks, store=store, max_workers=args.parallel))
+        print()
     print(f"\n[{time.time() - started:.1f}s elapsed]", file=sys.stderr)
+    print(f"[{store.describe()}]", file=sys.stderr)
     return 0
 
 
-def _expand(command: str) -> list[str]:
+def _expand(command: str) -> tuple[str, ...]:
     if command != "all":
-        return [command]
-    return [name for name in COMMANDS if name != "all"]
-
-
-def _comparison_matrix(setup, benchmarks, cache):
-    """The Figures 6–8/summary matrix, computed once per invocation."""
-    key = tuple(benchmarks) if benchmarks else None
-    if key not in cache:
-        workers = cache.get("parallel", 0)
-        if workers and workers > 1:
-            from repro.experiments.parallel import run_matrix_parallel
-            from repro.schemes.factory import FIGURE_SCHEMES
-            from repro.workloads.benchmarks import BENCHMARK_ORDER
-            bench_list = benchmarks if benchmarks else list(BENCHMARK_ORDER)
-            cache[key] = run_matrix_parallel(
-                setup, FIGURE_SCHEMES, bench_list, max_workers=workers
-            )
-        else:
-            cache[key] = comparison.run_comparison(setup, benchmarks)
-    return cache[key]
-
-
-def _dispatch(
-    command: str,
-    setup: ExperimentSetup,
-    benchmarks: list[str] | None,
-    cache: dict | None = None,
-) -> None:
-    cache = cache if cache is not None else {}
-    if command == "fig1":
-        profiles = fig1_runlength.run_fig1(setup, benchmarks)
-        print(fig1_runlength.render_fig1(profiles))
-    elif command in ("fig6", "fig7", "fig8"):
-        results = _comparison_matrix(setup, benchmarks, cache)
-        if command == "fig6":
-            print(comparison.render_normalized_table(
-                comparison.fig6_energy(results),
-                "Figure 6: Energy (normalized to S-NUCA)"))
-        elif command == "fig7":
-            print(comparison.render_normalized_table(
-                comparison.fig7_completion(results),
-                "Figure 7: Completion Time (normalized to S-NUCA)"))
-        else:
-            print(comparison.render_miss_table(
-                comparison.fig8_miss_breakdown(results),
-                "Figure 8: L1 Cache Miss Type Breakdown"))
-    elif command == "fig9":
-        results = fig9_limitedk.run_fig9(setup, benchmarks)
-        energy, completion = fig9_limitedk.normalized_tables(
-            results, setup.config.num_cores)
-        print(fig9_limitedk.render_fig9(energy, completion))
-    elif command == "fig10":
-        results = fig10_cluster.run_fig10(setup, benchmarks)
-        energy, completion = fig10_cluster.normalized_tables(results)
-        print(fig10_cluster.render_fig10(energy, completion))
-    elif command == "rt-sweep":
-        results = rt_sweep.run_rt_sweep(setup, benchmarks)
-        print(rt_sweep.render_rt_sweep(results))
-    elif command == "replacement":
-        results = ablations.run_replacement_ablation(setup, benchmarks)
-        print(ablations.render_replacement_ablation(results))
-    elif command == "oracle":
-        results = ablations.run_oracle_ablation(setup, benchmarks)
-        print(ablations.render_oracle_ablation(results))
-    elif command == "tla":
-        results = ablations.run_tla_ablation(setup, benchmarks)
-        print(ablations.render_tla_ablation(results))
-    elif command == "strategy":
-        results = ablations.run_replica_strategy_ablation(setup, benchmarks)
-        print(ablations.render_replica_strategy_ablation(results))
-    elif command == "organization":
-        results = ablations.run_classifier_organization_ablation(setup, benchmarks)
-        print(ablations.render_classifier_organization_ablation(results))
-    elif command == "breakdown":
-        _print_breakdowns(setup, benchmarks, cache)
-    elif command == "table1":
-        print(tables.render_table1(setup.config))
-    elif command == "table2":
-        print(tables.render_table2())
-    elif command == "storage":
-        print(storage.render_storage(storage.storage_report(MachineConfig.paper())))
-    elif command == "summary":
-        results = _comparison_matrix(setup, benchmarks, cache)
-        energy_red, time_red = summary.headline_reductions(results)
-        print(summary.render_summary(energy_red, time_red))
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(f"unknown command {command!r}")
-    print()
-
-
-def _print_breakdowns(
-    setup: ExperimentSetup, benchmarks: list[str] | None, cache: dict
-) -> None:
-    """Stacked component bars (Figures 6/7 style) for each benchmark."""
-    from repro.experiments.reporting import render_stacked_bars
-
-    bench_list = benchmarks or ["BARNES"]
-    results = _comparison_matrix(setup, bench_list, cache)
-    for benchmark in bench_list:
-        energy = comparison.fig6_component_breakdown(results, benchmark)
-        print(render_stacked_bars(
-            energy, title=f"{benchmark}: energy components (S-NUCA total = 1.0)"
-        ))
-        print()
-        latency = comparison.fig7_latency_breakdown(results, benchmark)
-        print(render_stacked_bars(
-            latency,
-            title=f"{benchmark}: completion-time components (S-NUCA total = 1.0)",
-        ))
-        print()
+        return (command,)
+    return spec_registry.command_names()
 
 
 if __name__ == "__main__":

@@ -21,6 +21,10 @@
 * **Classifier organization** (Section 2.3.3): the in-cache classifier
   vs a decoupled sparse side table, which trades storage for a second
   CAM lookup and for classifier state lost on side-table eviction.
+
+Each ablation is one :class:`ExperimentSpec` — labeled RunPoints over
+the RT-3 scheme with config overrides or scheme kwargs — executed by
+the shared spec executor (result reuse, centralized trace release).
 """
 
 from __future__ import annotations
@@ -28,32 +32,54 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentSetup, RunResult, run_one
+from repro.experiments.results import ResultSet
+from repro.experiments.runner import ExperimentSetup
+from repro.experiments.spec import (
+    ExperimentSpec,
+    RunPoint,
+    execute_spec,
+    register_experiment,
+    resolve_benchmarks,
+)
+from repro.experiments.store import ResultStore
 
 ABLATION_BENCHMARKS = ("BLACKSCHOLES", "FACESIM", "BARNES", "DEDUP")
 
 
-def run_replacement_ablation(
+# ---------------------------------------------------------------------------
+# LLC replacement policy (Section 4.2)
+# ---------------------------------------------------------------------------
+
+def replacement_spec(
     setup: ExperimentSetup, benchmarks: Iterable[str] | None = None
-) -> dict[str, dict[str, RunResult]]:
+) -> ExperimentSpec:
+    bench_list = resolve_benchmarks(benchmarks, ABLATION_BENCHMARKS)
+    points = tuple(
+        RunPoint(
+            "RT-3", benchmark,
+            config_overrides=(("llc_modified_lru", modified),),
+            label=label,
+        )
+        for benchmark in bench_list
+        for label, modified in (("modified_lru", True), ("lru", False))
+    )
+    return ExperimentSpec(
+        "replacement", points,
+        title="Section 4.2: modified-LRU vs LRU LLC replacement",
+        baseline="lru",
+    )
+
+
+def run_replacement_ablation(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    store: ResultStore | None = None,
+) -> ResultSet:
     """``results[benchmark][policy]`` with policy in {modified_lru, lru}."""
-    bench_list = list(benchmarks) if benchmarks is not None else list(ABLATION_BENCHMARKS)
-    results: dict[str, dict[str, RunResult]] = {}
-    for benchmark in bench_list:
-        modified = run_one(
-            setup, "RT-3", benchmark,
-            config=setup.config.with_overrides(llc_modified_lru=True),
-        )
-        plain = run_one(
-            setup, "RT-3", benchmark,
-            config=setup.config.with_overrides(llc_modified_lru=False),
-        )
-        results[benchmark] = {"modified_lru": modified, "lru": plain}
-        setup.release_decoded(benchmark)
-    return results
+    return execute_spec(replacement_spec(setup, benchmarks), setup, store=store)
 
 
-def render_replacement_ablation(results: dict[str, dict[str, RunResult]]) -> str:
+def render_replacement_ablation(results) -> str:
     rows = []
     for benchmark, row in results.items():
         modified, plain = row["modified_lru"], row["lru"]
@@ -69,21 +95,42 @@ def render_replacement_ablation(results: dict[str, dict[str, RunResult]]) -> str
     )
 
 
-def run_oracle_ablation(
+# ---------------------------------------------------------------------------
+# Dynamic-oracle local lookup (Section 2.3.2)
+# ---------------------------------------------------------------------------
+
+def oracle_spec(
     setup: ExperimentSetup, benchmarks: Iterable[str] | None = None
-) -> dict[str, dict[str, RunResult]]:
+) -> ExperimentSpec:
+    bench_list = resolve_benchmarks(benchmarks, ABLATION_BENCHMARKS)
+    points = tuple(
+        point
+        for benchmark in bench_list
+        for point in (
+            RunPoint("RT-3", benchmark, label="probe"),
+            RunPoint(
+                "RT-3", benchmark,
+                scheme_kwargs=(("oracle_lookup", True),), label="oracle",
+            ),
+        )
+    )
+    return ExperimentSpec(
+        "oracle", points,
+        title="Section 2.3.2: always-probe vs dynamic-oracle local lookup",
+        baseline="oracle",
+    )
+
+
+def run_oracle_ablation(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    store: ResultStore | None = None,
+) -> ResultSet:
     """``results[benchmark][mode]`` with mode in {probe, oracle}."""
-    bench_list = list(benchmarks) if benchmarks is not None else list(ABLATION_BENCHMARKS)
-    results: dict[str, dict[str, RunResult]] = {}
-    for benchmark in bench_list:
-        probe = run_one(setup, "RT-3", benchmark)
-        oracle = run_one(setup, "RT-3", benchmark, oracle_lookup=True)
-        results[benchmark] = {"probe": probe, "oracle": oracle}
-        setup.release_decoded(benchmark)
-    return results
+    return execute_spec(oracle_spec(setup, benchmarks), setup, store=store)
 
 
-def render_oracle_ablation(results: dict[str, dict[str, RunResult]]) -> str:
+def render_oracle_ablation(results) -> str:
     rows = []
     for benchmark, row in results.items():
         probe, oracle = row["probe"], row["oracle"]
@@ -103,32 +150,37 @@ def render_oracle_ablation(results: dict[str, dict[str, RunResult]]) -> str:
 # Temporal Locality Hints (Section 2.2.4's rejected alternative)
 # ---------------------------------------------------------------------------
 
-def run_tla_ablation(
+def tla_spec(
     setup: ExperimentSetup, benchmarks: Iterable[str] | None = None
-) -> dict[str, dict[str, RunResult]]:
+) -> ExperimentSpec:
+    bench_list = resolve_benchmarks(benchmarks, ABLATION_BENCHMARKS)
+    variants = (
+        ("modified_lru", (("llc_modified_lru", True),)),
+        ("lru", (("llc_modified_lru", False),)),
+        ("tla", (("tla_hints", True),)),
+    )
+    points = tuple(
+        RunPoint("RT-3", benchmark, config_overrides=overrides, label=label)
+        for benchmark in bench_list
+        for label, overrides in variants
+    )
+    return ExperimentSpec(
+        "tla", points,
+        title="Section 2.2.4: modified-LRU vs Temporal Locality Hints",
+        baseline="lru",
+    )
+
+
+def run_tla_ablation(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    store: ResultStore | None = None,
+) -> ResultSet:
     """``results[benchmark][variant]`` over {modified_lru, lru, tla}."""
-    bench_list = list(benchmarks) if benchmarks is not None else list(ABLATION_BENCHMARKS)
-    results: dict[str, dict[str, RunResult]] = {}
-    for benchmark in bench_list:
-        results[benchmark] = {
-            "modified_lru": run_one(
-                setup, "RT-3", benchmark,
-                config=setup.config.with_overrides(llc_modified_lru=True),
-            ),
-            "lru": run_one(
-                setup, "RT-3", benchmark,
-                config=setup.config.with_overrides(llc_modified_lru=False),
-            ),
-            "tla": run_one(
-                setup, "RT-3", benchmark,
-                config=setup.config.with_overrides(tla_hints=True),
-            ),
-        }
-        setup.release_decoded(benchmark)
-    return results
+    return execute_spec(tla_spec(setup, benchmarks), setup, store=store)
 
 
-def render_tla_ablation(results: dict[str, dict[str, RunResult]]) -> str:
+def render_tla_ablation(results) -> str:
     rows = []
     for benchmark, row in results.items():
         base = row["lru"]
@@ -153,24 +205,39 @@ def render_tla_ablation(results: dict[str, dict[str, RunResult]]) -> str:
 STRATEGY_BENCHMARKS = ("LU-NC", "BARNES", "STREAMCLUSTER", "PATRICIA")
 
 
-def run_replica_strategy_ablation(
+def replica_strategy_spec(
     setup: ExperimentSetup, benchmarks: Iterable[str] | None = None
-) -> dict[str, dict[str, RunResult]]:
-    """``results[benchmark][strategy]`` over {all_states, shared_only}."""
-    bench_list = list(benchmarks) if benchmarks is not None else list(STRATEGY_BENCHMARKS)
-    results: dict[str, dict[str, RunResult]] = {}
-    for benchmark in bench_list:
-        results[benchmark] = {
-            "all_states": run_one(setup, "RT-3", benchmark),
-            "shared_only": run_one(
-                setup, "RT-3", benchmark, shared_only_replicas=True
+) -> ExperimentSpec:
+    bench_list = resolve_benchmarks(benchmarks, STRATEGY_BENCHMARKS)
+    points = tuple(
+        point
+        for benchmark in bench_list
+        for point in (
+            RunPoint("RT-3", benchmark, label="all_states"),
+            RunPoint(
+                "RT-3", benchmark,
+                scheme_kwargs=(("shared_only_replicas", True),),
+                label="shared_only",
             ),
-        }
-        setup.release_decoded(benchmark)
-    return results
+        )
+    )
+    return ExperimentSpec(
+        "strategy", points,
+        title="Section 2.3.1: Shared-only vs all-state replica creation",
+        baseline="all_states",
+    )
 
 
-def render_replica_strategy_ablation(results: dict[str, dict[str, RunResult]]) -> str:
+def run_replica_strategy_ablation(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    store: ResultStore | None = None,
+) -> ResultSet:
+    """``results[benchmark][strategy]`` over {all_states, shared_only}."""
+    return execute_spec(replica_strategy_spec(setup, benchmarks), setup, store=store)
+
+
+def render_replica_strategy_ablation(results) -> str:
     rows = []
     for benchmark, row in results.items():
         full, shared = row["all_states"], row["shared_only"]
@@ -197,44 +264,79 @@ def render_replica_strategy_ablation(results: dict[str, dict[str, RunResult]]) -
 ORGANIZATION_BENCHMARKS = ("BARNES", "STREAMCLUSTER", "DEDUP")
 
 
+def classifier_organization_spec(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    sparse_entries: Iterable[int] = (64, 256, 1024),
+) -> ExperimentSpec:
+    bench_list = resolve_benchmarks(benchmarks, ORGANIZATION_BENCHMARKS)
+    entries_list = list(sparse_entries)
+    points = []
+    for benchmark in bench_list:
+        points.append(RunPoint("RT-3", benchmark, label="incache"))
+        for entries in entries_list:
+            points.append(RunPoint(
+                "RT-3", benchmark,
+                config_overrides=(
+                    ("classifier_organization", "sparse"),
+                    ("sparse_classifier_entries", entries),
+                ),
+                label=f"sparse-{entries}",
+            ))
+    return ExperimentSpec(
+        "organization", tuple(points),
+        title="Section 2.3.3: in-cache vs sparse classifier organization",
+        baseline="incache",
+    )
+
+
 def run_classifier_organization_ablation(
     setup: ExperimentSetup,
     benchmarks: Iterable[str] | None = None,
     sparse_entries: Iterable[int] = (64, 256, 1024),
-) -> dict[str, dict[str, RunResult]]:
+    store: ResultStore | None = None,
+) -> ResultSet:
     """``results[benchmark][org]`` over in-cache and sparse capacities."""
-    bench_list = list(benchmarks) if benchmarks is not None else list(ORGANIZATION_BENCHMARKS)
-    results: dict[str, dict[str, RunResult]] = {}
-    for benchmark in bench_list:
-        row: dict[str, RunResult] = {
-            "incache": run_one(setup, "RT-3", benchmark),
-        }
-        for entries in sparse_entries:
-            config = setup.config.with_overrides(
-                classifier_organization="sparse",
-                sparse_classifier_entries=entries,
-            )
-            row[f"sparse-{entries}"] = run_one(
-                setup, "RT-3", benchmark, config=config
-            )
-        results[benchmark] = row
-        setup.release_decoded(benchmark)
-    return results
+    spec = classifier_organization_spec(setup, benchmarks, sparse_entries)
+    return execute_spec(spec, setup, store=store)
 
 
-def render_classifier_organization_ablation(
-    results: dict[str, dict[str, RunResult]]
-) -> str:
-    labels = list(next(iter(results.values())).keys())
-    rows = []
-    for benchmark, row in results.items():
-        base = row["incache"]
-        rows.append([
-            benchmark,
-            *[row[label].total_energy / base.total_energy for label in labels],
-        ])
+def render_classifier_organization_ablation(results) -> str:
+    results = ResultSet.ensure(results)
+    table = results.normalized_to("incache", "total_energy")
+    labels = results.labels()
+    rows = [
+        [benchmark, *[row[label] for label in labels]]
+        for benchmark, row in table.items()
+    ]
     return format_table(
         ["Benchmark", *[f"{label} energy" for label in labels]],
         rows,
         title="Section 2.3.3: in-cache vs sparse classifier organization (RT-3)",
     )
+
+
+# ---------------------------------------------------------------------------
+# Registered commands
+# ---------------------------------------------------------------------------
+
+register_experiment(
+    "replacement", "Ablation: modified-LRU vs plain LRU LLC replacement",
+    lambda results, setup: render_replacement_ablation(results),
+)(replacement_spec)
+register_experiment(
+    "oracle", "Ablation: always-probe vs dynamic-oracle local lookup",
+    lambda results, setup: render_oracle_ablation(results),
+)(oracle_spec)
+register_experiment(
+    "tla", "Ablation: modified-LRU vs Temporal Locality Hints",
+    lambda results, setup: render_tla_ablation(results),
+)(tla_spec)
+register_experiment(
+    "strategy", "Ablation: Shared-only vs all-state replica creation",
+    lambda results, setup: render_replica_strategy_ablation(results),
+)(replica_strategy_spec)
+register_experiment(
+    "organization", "Ablation: in-cache vs sparse classifier organization",
+    lambda results, setup: render_classifier_organization_ablation(results),
+)(classifier_organization_spec)

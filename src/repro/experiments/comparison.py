@@ -1,7 +1,8 @@
 """Figures 6, 7 and 8: the main scheme-comparison matrix (Section 4.1).
 
-One matrix of runs — seven schemes (S-NUCA, R-NUCA, VR, ASR, RT-1, RT-3,
-RT-8) × the benchmark list — feeds all three figures:
+One :class:`ExperimentSpec` — seven schemes (S-NUCA, R-NUCA, VR, ASR,
+RT-1, RT-3, RT-8) × the benchmark list — feeds all three figures, the
+headline summary and the per-benchmark component breakdowns:
 
 * Figure 6: energy breakdown per scheme, normalized to S-NUCA;
 * Figure 7: completion-time breakdown per scheme, normalized to S-NUCA;
@@ -16,36 +17,61 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.energy.model import COMPONENTS
-from repro.experiments.reporting import arithmetic_mean, format_table
-from repro.experiments.runner import ExperimentSetup, RunResult, run_matrix
+from repro.experiments.reporting import (
+    arithmetic_mean,
+    format_table,
+    render_stacked_bars,
+)
+from repro.experiments.results import ResultSet
+from repro.experiments.runner import ExperimentSetup, RunResult
+from repro.experiments.spec import (
+    ExperimentSpec,
+    RunPoint,
+    execute_spec,
+    register_experiment,
+    resolve_benchmarks,
+)
+from repro.experiments.store import ResultStore
 from repro.schemes.factory import FIGURE_SCHEMES
-from repro.sim.stats import LATENCY_BUCKETS
+from repro.workloads.benchmarks import BENCHMARK_ORDER
+
+
+def comparison_spec(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    schemes: Iterable[str] = FIGURE_SCHEMES,
+) -> ExperimentSpec:
+    """The Figures 6–8 grid: every (benchmark, scheme) pair."""
+    bench_list = resolve_benchmarks(benchmarks, BENCHMARK_ORDER)
+    scheme_list = list(schemes)
+    points = tuple(
+        RunPoint(scheme=scheme, benchmark=benchmark)
+        for benchmark in bench_list
+        for scheme in scheme_list
+    )
+    return ExperimentSpec(
+        "comparison", points,
+        title="Figures 6-8: scheme comparison matrix", baseline="S-NUCA",
+    )
 
 
 def run_comparison(
     setup: ExperimentSetup,
     benchmarks: Iterable[str] | None = None,
     schemes: Iterable[str] = FIGURE_SCHEMES,
-) -> dict[str, dict[str, RunResult]]:
-    """Run the Figures 6–8 matrix; ``results[benchmark][scheme]``."""
-    return run_matrix(setup, list(schemes), benchmarks)
+    store: ResultStore | None = None,
+) -> ResultSet:
+    """Run the Figures 6–8 matrix; readable as ``results[benchmark][scheme]``."""
+    return execute_spec(comparison_spec(setup, benchmarks, schemes), setup, store=store)
 
 
 # ---------------------------------------------------------------------------
 # Figure 6: energy
 # ---------------------------------------------------------------------------
 
-def fig6_energy(
-    results: Mapping[str, Mapping[str, RunResult]]
-) -> dict[str, dict[str, float]]:
+def fig6_energy(results) -> dict[str, dict[str, float]]:
     """Normalized total energy per (benchmark, scheme), S-NUCA = 1.0."""
-    table: dict[str, dict[str, float]] = {}
-    for benchmark, row in results.items():
-        baseline = row["S-NUCA"].total_energy
-        table[benchmark] = {
-            scheme: result.total_energy / baseline for scheme, result in row.items()
-        }
-    return table
+    return ResultSet.ensure(results).normalized_to("S-NUCA", "total_energy")
 
 
 def fig6_component_breakdown(
@@ -67,17 +93,9 @@ def fig6_component_breakdown(
 # Figure 7: completion time
 # ---------------------------------------------------------------------------
 
-def fig7_completion(
-    results: Mapping[str, Mapping[str, RunResult]]
-) -> dict[str, dict[str, float]]:
+def fig7_completion(results) -> dict[str, dict[str, float]]:
     """Normalized completion time per (benchmark, scheme), S-NUCA = 1.0."""
-    table: dict[str, dict[str, float]] = {}
-    for benchmark, row in results.items():
-        baseline = row["S-NUCA"].completion_time
-        table[benchmark] = {
-            scheme: result.completion_time / baseline for scheme, result in row.items()
-        }
-    return table
+    return ResultSet.ensure(results).normalized_to("S-NUCA", "completion_time")
 
 
 def fig7_latency_breakdown(
@@ -99,16 +117,11 @@ def fig7_latency_breakdown(
 # Figure 8: L1 miss types
 # ---------------------------------------------------------------------------
 
-def fig8_miss_breakdown(
-    results: Mapping[str, Mapping[str, RunResult]]
-) -> dict[str, dict[str, dict[str, float]]]:
+def fig8_miss_breakdown(results) -> dict[str, dict[str, dict[str, float]]]:
     """Miss-type fractions per (benchmark, scheme)."""
-    return {
-        benchmark: {
-            scheme: result.stats.miss_breakdown() for scheme, result in row.items()
-        }
-        for benchmark, row in results.items()
-    }
+    return ResultSet.ensure(results).pivot(
+        value=lambda result: result.stats.miss_breakdown()
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -150,3 +163,63 @@ def render_miss_table(
         ]
         lines.append(format_table(["Scheme", *categories], rows))
     return "\n".join(lines)
+
+
+def render_breakdowns(results, benchmarks: Iterable[str]) -> str:
+    """Stacked component bars (Figures 6/7 style) for each benchmark."""
+    sections = []
+    for benchmark in benchmarks:
+        energy = fig6_component_breakdown(results, benchmark)
+        sections.append(render_stacked_bars(
+            energy, title=f"{benchmark}: energy components (S-NUCA total = 1.0)"
+        ))
+        latency = fig7_latency_breakdown(results, benchmark)
+        sections.append(render_stacked_bars(
+            latency,
+            title=f"{benchmark}: completion-time components (S-NUCA total = 1.0)",
+        ))
+    return "\n\n".join(sections)
+
+
+# ---------------------------------------------------------------------------
+# Registered commands
+# ---------------------------------------------------------------------------
+
+def _render_fig6(results: ResultSet, setup: ExperimentSetup) -> str:
+    return render_normalized_table(
+        fig6_energy(results), "Figure 6: Energy (normalized to S-NUCA)"
+    )
+
+
+def _render_fig7(results: ResultSet, setup: ExperimentSetup) -> str:
+    return render_normalized_table(
+        fig7_completion(results), "Figure 7: Completion Time (normalized to S-NUCA)"
+    )
+
+
+def _render_fig8(results: ResultSet, setup: ExperimentSetup) -> str:
+    return render_miss_table(
+        fig8_miss_breakdown(results), "Figure 8: L1 Cache Miss Type Breakdown"
+    )
+
+
+def _render_breakdown(results: ResultSet, setup: ExperimentSetup) -> str:
+    return render_breakdowns(results, results.benchmarks())
+
+
+register_experiment(
+    "fig6", "Figure 6: energy per scheme, normalized to S-NUCA", _render_fig6
+)(comparison_spec)
+register_experiment(
+    "fig7", "Figure 7: completion time per scheme, normalized to S-NUCA",
+    _render_fig7,
+)(lambda setup, benchmarks=None: comparison_spec(setup, benchmarks))
+register_experiment(
+    "fig8", "Figure 8: L1 miss type breakdown per scheme", _render_fig8
+)(lambda setup, benchmarks=None: comparison_spec(setup, benchmarks))
+register_experiment(
+    "breakdown", "Stacked energy/latency component bars per benchmark",
+    _render_breakdown,
+)(lambda setup, benchmarks=None: comparison_spec(
+    setup, benchmarks if benchmarks else ["BARNES"]
+))

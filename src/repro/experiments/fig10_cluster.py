@@ -16,7 +16,16 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.experiments.reporting import format_table, geomean
-from repro.experiments.runner import ExperimentSetup, RunResult, run_one
+from repro.experiments.results import ResultSet
+from repro.experiments.runner import ExperimentSetup
+from repro.experiments.spec import (
+    ExperimentSpec,
+    RunPoint,
+    execute_spec,
+    register_experiment,
+    resolve_benchmarks,
+)
+from repro.experiments.store import ResultStore
 
 #: The benchmarks Figure 10 plots.
 FIG10_BENCHMARKS = (
@@ -34,43 +43,51 @@ def cluster_sizes(num_cores: int) -> tuple[int, ...]:
     return tuple(sizes)
 
 
+def fig10_spec(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    sizes: Iterable[int] | None = None,
+) -> ExperimentSpec:
+    """The cluster-size grid: locality scheme at RT=3, one point per C."""
+    bench_list = resolve_benchmarks(benchmarks, FIG10_BENCHMARKS)
+    size_list = list(sizes) if sizes is not None else list(cluster_sizes(setup.config.num_cores))
+    points = tuple(
+        RunPoint(
+            "Locality", benchmark,
+            config_overrides=(
+                ("cluster_size", size), ("replication_threshold", 3),
+            ),
+            label=f"C-{size}",
+        )
+        for benchmark in bench_list
+        for size in size_list
+    )
+    return ExperimentSpec(
+        "fig10", points,
+        title="Figure 10: replication cluster-size sensitivity",
+        baseline=f"C-{size_list[0]}" if size_list else None,
+    )
+
+
 def run_fig10(
     setup: ExperimentSetup,
     benchmarks: Iterable[str] | None = None,
     sizes: Iterable[int] | None = None,
-) -> dict[str, dict[str, RunResult]]:
+    store: ResultStore | None = None,
+) -> ResultSet:
     """``results[benchmark]['C-<size>']`` for the locality scheme at RT=3."""
-    bench_list = list(benchmarks) if benchmarks is not None else list(FIG10_BENCHMARKS)
-    size_list = list(sizes) if sizes is not None else list(cluster_sizes(setup.config.num_cores))
-    results: dict[str, dict[str, RunResult]] = {}
-    for benchmark in bench_list:
-        row: dict[str, RunResult] = {}
-        for size in size_list:
-            config = setup.config.with_overrides(
-                cluster_size=size, replication_threshold=3
-            )
-            row[f"C-{size}"] = run_one(setup, "Locality", benchmark, config=config)
-        results[benchmark] = row
-        setup.release_decoded(benchmark)
-    return results
+    return execute_spec(fig10_spec(setup, benchmarks, sizes), setup, store=store)
 
 
 def normalized_tables(
-    results: dict[str, dict[str, RunResult]]
+    results,
 ) -> tuple[dict[str, dict[str, float]], dict[str, dict[str, float]]]:
     """(energy, completion time) normalized to C-1."""
-    energy: dict[str, dict[str, float]] = {}
-    time: dict[str, dict[str, float]] = {}
-    for benchmark, row in results.items():
-        base_energy = row["C-1"].total_energy
-        base_time = row["C-1"].completion_time
-        energy[benchmark] = {
-            label: result.total_energy / base_energy for label, result in row.items()
-        }
-        time[benchmark] = {
-            label: result.completion_time / base_time for label, result in row.items()
-        }
-    return energy, time
+    results = ResultSet.ensure(results)
+    return (
+        results.normalized_to("C-1", "total_energy"),
+        results.normalized_to("C-1", "completion_time"),
+    )
 
 
 def render_fig10(
@@ -93,3 +110,14 @@ def render_fig10(
         )
         sections.append(format_table(["Benchmark", *labels], rows, title=title))
     return "\n\n".join(sections)
+
+
+def _render(results: ResultSet, setup: ExperimentSetup) -> str:
+    energy, time = normalized_tables(results)
+    return render_fig10(energy, time)
+
+
+register_experiment(
+    "fig10", "Figure 10: replica cluster-size sensitivity (energy/time vs C)",
+    _render,
+)(lambda setup, benchmarks=None: fig10_spec(setup, benchmarks))

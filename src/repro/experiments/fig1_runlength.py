@@ -13,6 +13,7 @@ from typing import Iterable
 from repro.common.types import LineClass
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import ExperimentSetup
+from repro.experiments.spec import register_report, resolve_benchmarks
 from repro.sim.profiler import RUN_LENGTH_BUCKETS, RunLengthProfile, profile_run_lengths
 from repro.workloads.benchmarks import BENCHMARK_ORDER
 
@@ -20,8 +21,14 @@ from repro.workloads.benchmarks import BENCHMARK_ORDER
 def run_fig1(
     setup: ExperimentSetup, benchmarks: Iterable[str] | None = None
 ) -> dict[str, RunLengthProfile]:
-    """Profile run lengths for each benchmark."""
-    bench_list = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
+    """Profile run lengths for each benchmark.
+
+    Profiling runs produce :class:`RunLengthProfile`s, not
+    :class:`RunResult`s, so Figure 1 is a registered *report* command
+    rather than an ExperimentSpec grid (the ResultStore only holds
+    simulation statistics).
+    """
+    bench_list = resolve_benchmarks(benchmarks, BENCHMARK_ORDER)
     profiles: dict[str, RunLengthProfile] = {}
     for benchmark in bench_list:
         traces = setup.trace_for(benchmark)
@@ -60,3 +67,10 @@ def _short(line_class: LineClass) -> str:
         LineClass.SHARED_RO: "ShRO",
         LineClass.SHARED_RW: "ShRW",
     }[line_class]
+
+
+@register_report(
+    "fig1", "Figure 1: LLC access distribution by data class and run-length"
+)
+def _report(setup: ExperimentSetup, benchmarks: Iterable[str] | None = None) -> str:
+    return render_fig1(run_fig1(setup, benchmarks))

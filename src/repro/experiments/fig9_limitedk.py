@@ -14,7 +14,16 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.experiments.reporting import format_table, geomean
-from repro.experiments.runner import ExperimentSetup, RunResult, run_one
+from repro.experiments.results import ResultSet
+from repro.experiments.runner import ExperimentSetup
+from repro.experiments.spec import (
+    ExperimentSpec,
+    RunPoint,
+    execute_spec,
+    register_experiment,
+    resolve_benchmarks,
+)
+from repro.experiments.store import ResultStore
 
 #: k values of Figure 9; the machine's core count plays the role of 64.
 K_VALUES = (1, 3, 5, 7, None)  # None → Complete classifier
@@ -31,47 +40,53 @@ def k_label(k: int | None, num_cores: int) -> str:
     return f"k={num_cores}" if k is None else f"k={k}"
 
 
+def fig9_spec(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    k_values: Iterable[int | None] = K_VALUES,
+) -> ExperimentSpec:
+    """The classifier-k grid: locality scheme at RT=3, one point per k."""
+    bench_list = resolve_benchmarks(benchmarks, FIG9_BENCHMARKS)
+    k_list = list(k_values)
+    num_cores = setup.config.num_cores
+    points = tuple(
+        RunPoint(
+            "Locality", benchmark,
+            config_overrides=(
+                ("classifier_k", k), ("replication_threshold", 3),
+            ),
+            label=k_label(k, num_cores),
+        )
+        for benchmark in bench_list
+        for k in k_list
+    )
+    return ExperimentSpec(
+        "fig9", points,
+        title="Figure 9: Limited_k classifier sensitivity",
+        baseline=k_label(None, num_cores),
+    )
+
+
 def run_fig9(
     setup: ExperimentSetup,
     benchmarks: Iterable[str] | None = None,
     k_values: Iterable[int | None] = K_VALUES,
-) -> dict[str, dict[str, RunResult]]:
+    store: ResultStore | None = None,
+) -> ResultSet:
     """``results[benchmark][k-label]`` for the locality scheme at RT=3."""
-    bench_list = list(benchmarks) if benchmarks is not None else list(FIG9_BENCHMARKS)
-    num_cores = setup.config.num_cores
-    results: dict[str, dict[str, RunResult]] = {}
-    for benchmark in bench_list:
-        row: dict[str, RunResult] = {}
-        for k in k_values:
-            config = setup.config.with_overrides(
-                classifier_k=None if k is None else k,
-                replication_threshold=3,
-            )
-            row[k_label(k, num_cores)] = run_one(
-                setup, "Locality", benchmark, config=config
-            )
-        results[benchmark] = row
-        setup.release_decoded(benchmark)
-    return results
+    return execute_spec(fig9_spec(setup, benchmarks, k_values), setup, store=store)
 
 
 def normalized_tables(
-    results: dict[str, dict[str, RunResult]], num_cores: int
+    results, num_cores: int
 ) -> tuple[dict[str, dict[str, float]], dict[str, dict[str, float]]]:
     """(energy, completion time) normalized to the Complete classifier."""
     complete = k_label(None, num_cores)
-    energy: dict[str, dict[str, float]] = {}
-    time: dict[str, dict[str, float]] = {}
-    for benchmark, row in results.items():
-        base_energy = row[complete].total_energy
-        base_time = row[complete].completion_time
-        energy[benchmark] = {
-            label: result.total_energy / base_energy for label, result in row.items()
-        }
-        time[benchmark] = {
-            label: result.completion_time / base_time for label, result in row.items()
-        }
-    return energy, time
+    results = ResultSet.ensure(results)
+    return (
+        results.normalized_to(complete, "total_energy"),
+        results.normalized_to(complete, "completion_time"),
+    )
 
 
 def render_fig9(
@@ -94,3 +109,14 @@ def render_fig9(
         )
         sections.append(format_table(["Benchmark", *labels], rows, title=title))
     return "\n\n".join(sections)
+
+
+def _render(results: ResultSet, setup: ExperimentSetup) -> str:
+    energy, time = normalized_tables(results, setup.config.num_cores)
+    return render_fig9(energy, time)
+
+
+register_experiment(
+    "fig9", "Figure 9: Limited_k classifier sensitivity (energy/time vs k)",
+    _render,
+)(lambda setup, benchmarks=None: fig9_spec(setup, benchmarks))

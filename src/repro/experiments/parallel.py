@@ -6,6 +6,15 @@ pools give near-linear speedups.  Workers rebuild traces from the
 (benchmark, scale, seed) triple — trace generation is deterministic and
 cheap relative to simulation, so nothing large crosses the process
 boundary except the result statistics.
+
+The parallel path executes the same
+:class:`~repro.experiments.spec.ExperimentSpec` grids the sequential
+executor does: :func:`execute_spec_parallel` checks the
+:class:`~repro.experiments.store.ResultStore` first, shards only the
+*missed* RunPoints into picklable :class:`RunSpec` units, and reduces
+ASR's replication-level search on collection — identical semantics and
+bit-identical results.  A future work-queue backend only has to consume
+the same ``RunSpec`` stream.
 """
 
 from __future__ import annotations
@@ -13,10 +22,15 @@ from __future__ import annotations
 import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.common.params import MachineConfig
+from repro.experiments.results import ResultSet
 from repro.experiments.runner import ExperimentSetup, RunResult, run_one
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.spec import ExperimentSpec, RunPoint
+    from repro.experiments.store import ResultStore
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,49 +80,112 @@ def run_specs(
         return list(pool.map(_execute, spec_list))
 
 
+def _edp(result: RunResult) -> float:
+    return result.total_energy * result.completion_time
+
+
+def point_run_specs(
+    point: "RunPoint", setup: ExperimentSetup
+) -> list[RunSpec]:
+    """The picklable RunSpec expansion of one RunPoint.
+
+    Most points map to one RunSpec; an ASR point without an explicit
+    replication level expands into one spec per level (the lowest-EDP
+    result is kept on collection — identical to the sequential search).
+    """
+    config = point.effective_config(setup.config)
+    scale = point.scale if point.scale is not None else setup.scale
+    seed = point.seed if point.seed is not None else setup.seed
+    kernel = point.kernel if point.kernel is not None else setup.kernel
+    kwargs = point.scheme_kwargs
+    if point.scheme == "ASR" and "replication_level" not in dict(kwargs):
+        return [
+            RunSpec(
+                point.scheme, point.benchmark, config, scale, seed,
+                scheme_kwargs=kwargs + (("replication_level", level),),
+                kernel=kernel,
+            )
+            for level in setup.asr_levels
+        ]
+    return [
+        RunSpec(
+            point.scheme, point.benchmark, config, scale, seed,
+            scheme_kwargs=kwargs, kernel=kernel,
+        )
+    ]
+
+
+def execute_spec_parallel(
+    spec: "ExperimentSpec",
+    setup: ExperimentSetup,
+    store: "ResultStore",
+    max_workers: int | None = None,
+) -> ResultSet:
+    """Parallel twin of :func:`repro.experiments.spec.execute_spec`.
+
+    Stored results are served without simulating; only the missed points
+    are sharded across the pool, and every fresh result is written back
+    to the store.
+    """
+    results: dict = {}
+    pending: list[tuple] = []  # (first point, key, spec count)
+    pending_points: dict = {}  # key -> other points sharing that address
+    work: list[RunSpec] = []
+    for point in spec.points:
+        key = store.key_for(point.fingerprint(setup))
+        if key in pending_points:
+            # Same content address already in flight: don't simulate it
+            # twice (mirrors the sequential path, which would hit here).
+            pending_points[key].append(point)
+            store.record_hit()
+            continue
+        cached = store.get(key)
+        if cached is not None:
+            results[point] = cached
+            continue
+        expansion = point_run_specs(point, setup)
+        pending.append((point, key, len(expansion)))
+        pending_points[key] = [point]
+        work.extend(expansion)
+
+    outputs = run_specs(work, max_workers=max_workers)
+    cursor = 0
+    for point, key, count in pending:
+        candidates = outputs[cursor:cursor + count]
+        cursor += count
+        result = candidates[0] if count == 1 else min(candidates, key=_edp)
+        store.put(key, result)
+        for shared_point in pending_points[key]:
+            results[shared_point] = result
+
+    # Preserve the spec's point order in the result set.
+    ordered = {point: results[point] for point in spec.points}
+    return ResultSet.from_spec(spec, ordered)
+
+
 def run_matrix_parallel(
     setup: ExperimentSetup,
     schemes: Iterable[str],
     benchmarks: Iterable[str],
     max_workers: int | None = None,
-) -> dict[str, dict[str, RunResult]]:
+) -> ResultSet:
     """Parallel version of :func:`repro.experiments.runner.run_matrix`.
 
-    The ASR replication-level search expands into one spec per level,
-    with the energy-delay-product selection applied on collection —
-    identical semantics to the sequential runner.
+    Builds the (benchmark × scheme) grid as an anonymous
+    :class:`ExperimentSpec` and shards its RunPoints — the same code
+    path every figure's ``--parallel`` execution uses.
     """
-    scheme_list = list(schemes)
-    bench_list = list(benchmarks)
-    specs: list[RunSpec] = []
-    for benchmark in bench_list:
-        for scheme in scheme_list:
-            if scheme == "ASR":
-                for level in setup.asr_levels:
-                    specs.append(RunSpec(
-                        scheme, benchmark, setup.config, setup.scale, setup.seed,
-                        scheme_kwargs=(("replication_level", level),),
-                        kernel=setup.kernel,
-                    ))
-            else:
-                specs.append(RunSpec(
-                    scheme, benchmark, setup.config, setup.scale, setup.seed,
-                    kernel=setup.kernel,
-                ))
-    results = run_specs(specs, max_workers=max_workers)
+    from repro.experiments.spec import ExperimentSpec, RunPoint
+    from repro.experiments.store import ResultStore
 
-    matrix: dict[str, dict[str, RunResult]] = {b: {} for b in bench_list}
-    cursor = 0
-    for benchmark in bench_list:
-        for scheme in scheme_list:
-            if scheme == "ASR":
-                candidates = results[cursor:cursor + len(setup.asr_levels)]
-                cursor += len(setup.asr_levels)
-                matrix[benchmark][scheme] = min(
-                    candidates,
-                    key=lambda r: r.total_energy * r.completion_time,
-                )
-            else:
-                matrix[benchmark][scheme] = results[cursor]
-                cursor += 1
-    return matrix
+    bench_list = list(benchmarks)
+    scheme_list = list(schemes)
+    points = tuple(
+        RunPoint(scheme=scheme, benchmark=benchmark)
+        for benchmark in bench_list
+        for scheme in scheme_list
+    )
+    return execute_spec_parallel(
+        ExperimentSpec("matrix", points), setup, ResultStore.memory(),
+        max_workers=max_workers,
+    )

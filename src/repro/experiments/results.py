@@ -1,0 +1,201 @@
+"""Unified query layer over experiment results.
+
+A :class:`ResultSet` wraps ``{RunPoint: RunResult}`` — the outcome of
+executing an :class:`~repro.experiments.spec.ExperimentSpec` — and turns
+every figure's bespoke dict plumbing into short queries:
+
+* :meth:`ResultSet.pivot` — a ``{row: {column: value}}`` table over any
+  point axes and any result metric;
+* :meth:`ResultSet.normalized_to` — the same table with every row
+  divided by its baseline column (how Figures 6/7/9/10 normalize);
+* :meth:`ResultSet.geomean` / :meth:`ResultSet.mean` — per-column
+  aggregates across rows (the GEOMEAN/AVERAGE summary rows).
+
+For compatibility with the pre-spec API, a :class:`ResultSet` is also a
+read-only mapping in the legacy ``results[benchmark][label]`` shape
+(label defaults to the scheme), so existing renderers, goldens and
+notebooks keep working unchanged; :meth:`ResultSet.ensure` upgrades a
+plain nested dict into a queryable set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.experiments.reporting import arithmetic_mean, geomean
+from repro.experiments.runner import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.spec import ExperimentSpec, RunPoint
+
+#: A metric selector: a RunResult attribute/property name or a callable.
+Value = "str | Callable[[RunResult], object]"
+
+
+def _accessor(value) -> Callable[[RunResult], object]:
+    if callable(value):
+        return value
+    return lambda result: getattr(result, value)
+
+
+class ResultSet(Mapping):
+    """``{RunPoint: RunResult}`` with pivot/normalize/aggregate queries.
+
+    Iteration order everywhere follows point insertion order (the spec's
+    grid order), so rendered tables match the paper's row/column layout.
+    """
+
+    def __init__(
+        self,
+        results: "Mapping[RunPoint, RunResult]",
+        name: str = "",
+        baseline: "str | int | None" = None,
+    ) -> None:
+        self._results = dict(results)
+        self.name = name
+        self.baseline = baseline
+        self._rows: dict[str, dict] = {}
+        for point, result in self._results.items():
+            row = self._rows.setdefault(point.benchmark, {})
+            if point.col_label in row:
+                # Two *distinct* points collapsing onto one table cell
+                # would silently drop results from every query.
+                raise ValueError(
+                    f"distinct points share the table cell "
+                    f"({point.benchmark!r}, {point.col_label!r}) in "
+                    f"{name or 'result set'}; give them distinct labels"
+                )
+            row[point.col_label] = result
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls, spec: "ExperimentSpec", results: "Mapping[RunPoint, RunResult]"
+    ) -> "ResultSet":
+        return cls(results, name=spec.name, baseline=spec.baseline)
+
+    @classmethod
+    def ensure(cls, results) -> "ResultSet":
+        """Coerce legacy ``{row: {label: RunResult}}`` dicts into a set."""
+        if isinstance(results, cls):
+            return results
+        from repro.experiments.spec import RunPoint
+
+        points: dict = {}
+        for row_key, row in results.items():
+            for col_key, result in row.items():
+                point = RunPoint(
+                    scheme=getattr(result, "scheme", str(col_key)),
+                    benchmark=row_key,
+                    label=col_key,
+                )
+                points[point] = result
+        return cls(points)
+
+    # -- point-level access --------------------------------------------------
+    @property
+    def points(self) -> tuple:
+        return tuple(self._results)
+
+    def result_for(self, point: "RunPoint") -> RunResult:
+        return self._results[point]
+
+    def labels(self) -> tuple:
+        """Column labels in first-appearance (spec grid) order."""
+        seen: dict = {}
+        for point in self._results:
+            seen.setdefault(point.col_label, None)
+        return tuple(seen)
+
+    def benchmarks(self) -> tuple:
+        """Row keys in first-appearance (spec grid) order."""
+        return tuple(self._rows)
+
+    # -- legacy mapping shape: results[benchmark][label] ---------------------
+    def __getitem__(self, benchmark: str) -> dict:
+        return self._rows[benchmark]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- queries -------------------------------------------------------------
+    def pivot(
+        self, value: Value = "total_energy", row: str = "benchmark",
+        col: str = "label",
+    ) -> dict:
+        """``{row: {col: metric}}`` over any point axes.
+
+        ``row``/``col`` name :class:`RunPoint` attributes (``benchmark``,
+        ``label``, ``scheme``, ``seed`` …); ``value`` names a
+        :class:`RunResult` attribute (``total_energy``,
+        ``completion_time``, ``asr_level``) or is a callable
+        ``RunResult -> value``.
+        """
+        accessor = _accessor(value)
+        table: dict = {}
+        for point, result in self._results.items():
+            row_key = point.col_label if row == "label" else getattr(point, row)
+            col_key = point.col_label if col == "label" else getattr(point, col)
+            table.setdefault(row_key, {})[col_key] = accessor(result)
+        return table
+
+    def normalized_to(
+        self, baseline: "str | int | None" = None,
+        value: Value = "total_energy", row: str = "benchmark",
+        col: str = "label",
+    ) -> dict:
+        """:meth:`pivot`, with every row divided by its baseline column."""
+        baseline = baseline if baseline is not None else self.baseline
+        if baseline is None:
+            raise ValueError("no baseline label given and the set declares none")
+        table = self.pivot(value, row=row, col=col)
+        normalized: dict = {}
+        for row_key, cells in table.items():
+            if baseline not in cells:
+                raise KeyError(
+                    f"baseline {baseline!r} missing from row {row_key!r}; "
+                    f"columns: {list(cells)}"
+                )
+            base = cells[baseline]
+            normalized[row_key] = {key: cell / base for key, cell in cells.items()}
+        return normalized
+
+    def _aggregate(
+        self, reduce: Callable, value: Value, baseline: "str | int | None"
+    ) -> dict:
+        if baseline is not None:
+            table = self.normalized_to(baseline, value)
+        else:
+            table = self.pivot(value)
+        columns: dict = {}
+        for cells in table.values():
+            for key in cells:
+                columns.setdefault(key, None)
+        return {
+            key: reduce(cells[key] for cells in table.values() if key in cells)
+            for key in columns
+        }
+
+    def geomean(
+        self, value: Value = "total_energy",
+        baseline: "str | int | None" = None,
+    ) -> dict:
+        """Per-column geometric mean across rows (optionally normalized)."""
+        return self._aggregate(geomean, value, baseline)
+
+    def mean(
+        self, value: Value = "total_energy",
+        baseline: "str | int | None" = None,
+    ) -> dict:
+        """Per-column arithmetic mean across rows (optionally normalized)."""
+        return self._aggregate(arithmetic_mean, value, baseline)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultSet({self.name or 'anonymous'}: "
+            f"{len(self._results)} points, {len(self._rows)} rows)"
+        )

@@ -10,8 +10,17 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.experiments.reporting import format_table, geomean
-from repro.experiments.runner import ExperimentSetup, RunResult, run_one
+from repro.experiments.reporting import format_table
+from repro.experiments.results import ResultSet
+from repro.experiments.runner import ExperimentSetup
+from repro.experiments.spec import (
+    ExperimentSpec,
+    RunPoint,
+    execute_spec,
+    register_experiment,
+    resolve_benchmarks,
+)
+from repro.experiments.store import ResultStore
 
 RT_VALUES = (1, 2, 3, 4, 6, 8)
 
@@ -22,51 +31,56 @@ SWEEP_BENCHMARKS = (
 )
 
 
+def rt_sweep_spec(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    rt_values: Iterable[int] = RT_VALUES,
+) -> ExperimentSpec:
+    """The RT grid: one ``RT-<n>`` point per threshold (integer labels)."""
+    bench_list = resolve_benchmarks(benchmarks, SWEEP_BENCHMARKS)
+    rt_list = list(rt_values)
+    points = tuple(
+        RunPoint(f"RT-{rt}", benchmark, label=rt)
+        for benchmark in bench_list
+        for rt in rt_list
+    )
+    return ExperimentSpec(
+        "rt-sweep", points,
+        title="Replication-threshold sweep",
+        baseline=rt_list[0] if rt_list else None,
+    )
+
+
 def run_rt_sweep(
     setup: ExperimentSetup,
     benchmarks: Iterable[str] | None = None,
     rt_values: Iterable[int] = RT_VALUES,
-) -> dict[str, dict[int, RunResult]]:
+    store: ResultStore | None = None,
+) -> ResultSet:
     """``results[benchmark][rt]`` for the locality-aware scheme."""
-    bench_list = list(benchmarks) if benchmarks is not None else list(SWEEP_BENCHMARKS)
-    results: dict[str, dict[int, RunResult]] = {}
-    for benchmark in bench_list:
-        row: dict[int, RunResult] = {}
-        for rt in rt_values:
-            row[rt] = run_one(setup, f"RT-{rt}", benchmark)
-        results[benchmark] = row
-        setup.release_decoded(benchmark)
-    return results
+    return execute_spec(rt_sweep_spec(setup, benchmarks, rt_values), setup, store=store)
 
 
-def best_rt_by_edp(results: dict[str, dict[int, RunResult]]) -> int:
+def best_rt_by_edp(results) -> int:
     """The RT minimizing geomean energy-delay product across benchmarks."""
-    rts = list(next(iter(results.values())).keys())
-    best_rt = rts[0]
-    best_score = float("inf")
-    for rt in rts:
-        score = geomean(
-            row[rt].total_energy * row[rt].completion_time
-            for row in results.values()
-        )
-        if score < best_score:
-            best_score = score
-            best_rt = rt
-    return best_rt
+    edp = ResultSet.ensure(results).geomean(
+        value=lambda result: result.total_energy * result.completion_time
+    )
+    return min(edp, key=edp.get)
 
 
-def render_rt_sweep(results: dict[str, dict[int, RunResult]]) -> str:
-    rts = list(next(iter(results.values())).keys())
-    energy_rows = []
-    time_rows = []
-    for benchmark, row in results.items():
-        base = row[rts[0]]
-        energy_rows.append(
-            [benchmark, *[row[rt].total_energy / base.total_energy for rt in rts]]
-        )
-        time_rows.append(
-            [benchmark, *[row[rt].completion_time / base.completion_time for rt in rts]]
-        )
+def render_rt_sweep(results) -> str:
+    results = ResultSet.ensure(results)
+    rts = results.labels()
+    base = rts[0]
+    energy = results.normalized_to(base, "total_energy")
+    time = results.normalized_to(base, "completion_time")
+    energy_rows = [
+        [benchmark, *[row[rt] for rt in rts]] for benchmark, row in energy.items()
+    ]
+    time_rows = [
+        [benchmark, *[row[rt] for rt in rts]] for benchmark, row in time.items()
+    ]
     headers = ["Benchmark", *[f"RT-{rt}" for rt in rts]]
     return "\n\n".join(
         (
@@ -77,3 +91,9 @@ def render_rt_sweep(results: dict[str, dict[int, RunResult]]) -> str:
             f"Best RT by geomean EDP: {best_rt_by_edp(results)}",
         )
     )
+
+
+register_experiment(
+    "rt-sweep", "Replication-threshold sweep (RT=1..8, best RT by EDP)",
+    lambda results, setup: render_rt_sweep(results),
+)(lambda setup, benchmarks=None: rt_sweep_spec(setup, benchmarks))

@@ -53,8 +53,9 @@ class ExperimentSetup:
     seed: int = 1
     asr_levels: tuple[float, ...] = ASRScheme.LEVELS
     #: Simulation kernel name (None → REPRO_SIM_KERNEL env var → "fast").
-    #: All kernels are differentially verified bit-identical, so this
-    #: only trades speed, never results.
+    #: ``"auto"`` probes each trace's run-length structure and picks
+    #: fast vs batched per run.  All kernels are differentially verified
+    #: bit-identical, so this only trades speed, never results.
     kernel: str | None = None
 
     def __post_init__(self) -> None:
@@ -92,26 +93,31 @@ def run_one(
     scheme_label: str,
     benchmark: str,
     config: MachineConfig | None = None,
+    kernel: str | None = None,
     **scheme_kwargs,
 ) -> RunResult:
     """Run one (scheme, benchmark) pair.
 
     ``ASR`` triggers the replication-level search automatically.  An
     explicit ``config`` overrides the setup's machine (used by sweeps
-    that vary classifier k or cluster size).
+    that vary classifier k or cluster size); an explicit ``kernel``
+    overrides the setup's simulation kernel for this run only.
     """
     machine_config = config or setup.config
     if scheme_label == "ASR" and "replication_level" not in scheme_kwargs:
-        return run_asr_best(setup, benchmark, machine_config)
+        return run_asr_best(setup, benchmark, machine_config, kernel=kernel)
     traces = setup.trace_for(benchmark)
     engine = make_scheme(scheme_label, machine_config, **scheme_kwargs)
-    stats = simulate(engine, traces, kernel=setup.kernel)
+    stats = simulate(engine, traces, kernel=kernel if kernel is not None else setup.kernel)
     breakdown = stats.energy_breakdown(engine.energy_model())
     return RunResult(scheme_label, benchmark, stats, breakdown)
 
 
 def run_asr_best(
-    setup: ExperimentSetup, benchmark: str, config: MachineConfig | None = None
+    setup: ExperimentSetup,
+    benchmark: str,
+    config: MachineConfig | None = None,
+    kernel: str | None = None,
 ) -> RunResult:
     """ASR at the five replication levels; keep the lowest-EDP level."""
     machine_config = config or setup.config
@@ -120,7 +126,7 @@ def run_asr_best(
     best_edp = float("inf")
     for level in setup.asr_levels:
         engine = make_scheme("ASR", machine_config, replication_level=level)
-        stats = simulate(engine, traces, kernel=setup.kernel)
+        stats = simulate(engine, traces, kernel=kernel if kernel is not None else setup.kernel)
         breakdown = stats.energy_breakdown(engine.energy_model())
         energy = sum(breakdown.values())
         edp = energy * stats.completion_time
@@ -135,18 +141,21 @@ def run_matrix(
     setup: ExperimentSetup,
     schemes: Iterable[str],
     benchmarks: Iterable[str] | None = None,
-) -> dict[str, dict[str, RunResult]]:
+):
     """Run every (benchmark, scheme) combination.
 
-    Returns ``results[benchmark][scheme]``.
+    Returns a :class:`~repro.experiments.results.ResultSet`, readable as
+    the legacy ``results[benchmark][scheme]`` mapping.  Implemented as an
+    anonymous :class:`~repro.experiments.spec.ExperimentSpec` so the
+    executor owns trace release and per-invocation deduplication.
     """
+    from repro.experiments.spec import ExperimentSpec, RunPoint, execute_spec
+
     bench_list = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
     scheme_list = list(schemes)
-    results: dict[str, dict[str, RunResult]] = {}
-    for benchmark in bench_list:
-        row: dict[str, RunResult] = {}
-        for scheme in scheme_list:
-            row[scheme] = run_one(setup, scheme, benchmark)
-        results[benchmark] = row
-        setup.release_decoded(benchmark)
-    return results
+    points = tuple(
+        RunPoint(scheme=scheme, benchmark=benchmark)
+        for benchmark in bench_list
+        for scheme in scheme_list
+    )
+    return execute_spec(ExperimentSpec("matrix", points), setup)

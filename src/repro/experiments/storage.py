@@ -21,6 +21,7 @@ import dataclasses
 import math
 
 from repro.common.params import MachineConfig
+from repro.experiments.spec import register_report
 
 
 @dataclasses.dataclass(frozen=True)
@@ -142,3 +143,10 @@ def render_storage(report: StorageReport) -> str:
         f"{report.complete_overhead_vs_ackwise * 100:.1f}%",
     ]
     return "\n".join(lines)
+
+
+@register_report(
+    "storage", "Section 2.4.1 storage-overhead arithmetic (Table 1 machine)"
+)
+def _report(setup, benchmarks=None) -> str:
+    return render_storage(storage_report(MachineConfig.paper()))

@@ -1,0 +1,258 @@
+"""Content-addressed result store for experiment runs.
+
+Every simulation the experiment layer performs is fully determined by a
+:class:`~repro.experiments.spec.RunPoint` resolved against an
+:class:`~repro.experiments.runner.ExperimentSetup`: the scheme label,
+the benchmark, the *effective* machine configuration (base machine plus
+the point's overrides), the trace scale and the workload seed.  That
+resolved description — the point's *fingerprint* — hashes to a stable
+content address, and :class:`ResultStore` maps addresses to
+:class:`~repro.experiments.runner.RunResult` payloads:
+
+* an **in-memory layer** guarantees that one process never performs the
+  same simulation twice (``python -m repro.experiments all`` runs each
+  unique point exactly once even though Figures 6/7/8, the summary and
+  the breakdown all share the comparison matrix);
+* an optional **JSON-on-disk layer** (one file per address) persists
+  results across invocations, so re-rendering a figure after a crash or
+  tweaking only the rendering costs no simulation time.
+
+The simulation *kernel* is deliberately **excluded** from the
+fingerprint: all kernels are differentially verified bit-identical
+(:mod:`repro.testing`), so reference/fast/batched/auto runs of the same
+point are interchangeable payloads.  Serialization is exact — JSON
+round-trips Python floats bit-for-bit — so a disk hit reproduces the
+original statistics digit for digit.
+
+Controls:
+
+* ``REPRO_RESULT_CACHE=<dir>`` relocates the on-disk store;
+* ``REPRO_RESULT_CACHE=off`` (or ``0``/``none``/empty) disables disk
+  persistence (the in-memory layer still deduplicates one invocation);
+* ``--no-cache`` on the CLI does the same for a single invocation.
+
+Hit/miss accounting (:attr:`ResultStore.hits` / :attr:`misses`) is the
+observable contract the test-suite and the CI smoke job assert on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from collections import Counter
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.common.types import MissStatus
+from repro.experiments.runner import RunResult
+from repro.sim.stats import SimStats
+
+#: Bump when the simulator's observable statistics change meaning, so
+#: stale on-disk results from an older format can never be returned.
+STORE_VERSION = 1
+
+#: Environment variable controlling the on-disk location (a path) or
+#: disabling persistence (``off``/``0``/``none``/empty).
+CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
+
+_DISABLED_VALUES = ("", "0", "off", "none", "disabled", "false")
+
+
+def default_cache_dir() -> Path:
+    """The XDG-style default location for the on-disk store."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "repro-llc" / "results"
+
+
+def fingerprint_key(fingerprint: Mapping) -> str:
+    """Stable content address for a resolved run fingerprint.
+
+    The fingerprint is canonicalized (sorted keys, minimal separators)
+    and hashed together with :data:`STORE_VERSION`; any change to the
+    machine configuration, scheme, benchmark, scale or seed produces a
+    different address.
+    """
+    payload = {"store_version": STORE_VERSION, "point": fingerprint}
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# RunResult <-> JSON (exact round-trip)
+# ---------------------------------------------------------------------------
+
+def encode_result(result: RunResult) -> dict:
+    """JSON-serializable dump of a :class:`RunResult` (exact)."""
+    stats = result.stats
+    return {
+        "scheme": result.scheme,
+        "benchmark": result.benchmark,
+        "asr_level": result.asr_level,
+        "energy_breakdown": dict(result.energy_breakdown),
+        "stats": {
+            "num_cores": stats.num_cores,
+            "completion_time": stats.completion_time,
+            "core_finish": list(stats.core_finish),
+            "counters": dict(stats.counters),
+            "energy_counts": dict(stats.energy_counts),
+            "latency": dict(stats.latency),
+            "miss_status": {
+                status.name: count for status, count in stats.miss_status.items()
+            },
+        },
+    }
+
+
+def decode_result(payload: Mapping) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`encode_result` output."""
+    raw = payload["stats"]
+    stats = SimStats(
+        num_cores=raw["num_cores"],
+        counters=Counter(raw["counters"]),
+        energy_counts=Counter(raw["energy_counts"]),
+        latency=Counter(raw["latency"]),
+        miss_status=Counter(
+            {MissStatus[name]: count for name, count in raw["miss_status"].items()}
+        ),
+        core_finish=list(raw["core_finish"]),
+        completion_time=raw["completion_time"],
+    )
+    return RunResult(
+        scheme=payload["scheme"],
+        benchmark=payload["benchmark"],
+        stats=stats,
+        energy_breakdown=dict(payload["energy_breakdown"]),
+        asr_level=payload["asr_level"],
+    )
+
+
+@dataclasses.dataclass
+class ResultStore:
+    """Content-addressed {fingerprint hash → RunResult} with accounting.
+
+    ``root=None`` keeps the store memory-only (one invocation's
+    deduplication); a path adds JSON-on-disk persistence.  The counters
+    record the outcome of every :meth:`get`/:meth:`get_or_run` lookup:
+    ``hits`` (served from memory or disk, split out as ``disk_hits``)
+    and ``misses`` (the caller had to simulate).
+    """
+
+    root: Path | None = None
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.root is not None:
+            self.root = Path(self.root)
+        self._memory: dict[str, RunResult] = {}
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_env(cls) -> "ResultStore":
+        """Build the store the CLI uses, honoring ``REPRO_RESULT_CACHE``."""
+        value = os.environ.get(CACHE_ENV_VAR)
+        if value is None:
+            return cls(default_cache_dir())
+        if value.strip().lower() in _DISABLED_VALUES:
+            return cls(None)
+        return cls(Path(value))
+
+    @classmethod
+    def memory(cls) -> "ResultStore":
+        """A memory-only store (per-invocation deduplication, no disk)."""
+        return cls(None)
+
+    # -- lookups -------------------------------------------------------------
+    def key_for(self, fingerprint: Mapping) -> str:
+        return fingerprint_key(fingerprint)
+
+    def get(self, key: str) -> RunResult | None:
+        """Look up a content address, counting the hit or miss."""
+        result = self._memory.get(key)
+        if result is not None:
+            self.hits += 1
+            return result
+        result = self._read_disk(key)
+        if result is not None:
+            self._memory[key] = result
+            self.hits += 1
+            self.disk_hits += 1
+            return result
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        self._memory[key] = result
+        self._write_disk(key, result)
+
+    def get_or_run(self, key: str, run: Callable[[], RunResult]) -> RunResult:
+        """Return the stored result or execute ``run`` and store it."""
+        result = self.get(key)
+        if result is None:
+            result = run()
+            self.put(key, result)
+        return result
+
+    def record_hit(self) -> None:
+        """Count a hit served outside :meth:`get` (the parallel executor
+        deduplicates same-address points before their result is stored,
+        keeping its accounting identical to the sequential path)."""
+        self.hits += 1
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without simulating (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> str:
+        """One-line accounting summary (printed by the CLI to stderr)."""
+        line = f"{self.hits} hits ({self.disk_hits} from disk), {self.misses} misses"
+        if self.lookups:
+            line += f", {self.hit_rate():.0%} hit rate"
+        return f"result-store: {line}"
+
+    # -- disk layer ----------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / f"{key}.json"
+
+    def _read_disk(self, key: str) -> RunResult | None:
+        if self.root is None:
+            return None
+        path = self._path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return decode_result(payload)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError):
+            # A truncated or foreign file is a miss, not a crash; the
+            # fresh result overwrites it.
+            return None
+
+    def _write_disk(self, key: str, result: RunResult) -> None:
+        if self.root is None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path_for(key)
+        tmp = path.with_suffix(".json.tmp")
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                json.dump(encode_result(result), handle)
+            os.replace(tmp, path)
+        except OSError:
+            # Persistence is best-effort; the in-memory layer still holds
+            # the result for this invocation.
+            tmp.unlink(missing_ok=True)

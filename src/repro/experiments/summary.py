@@ -11,9 +11,15 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from repro.experiments.comparison import average_row, fig6_energy, fig7_completion
+from repro.experiments.comparison import (
+    average_row,
+    comparison_spec,
+    fig6_energy,
+    fig7_completion,
+)
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import RunResult
+from repro.experiments.spec import register_experiment
 
 #: Baselines in the order the paper quotes them.
 BASELINES = ("VR", "ASR", "R-NUCA", "S-NUCA")
@@ -69,3 +75,13 @@ def render_summary(
         rows,
         title="Headline: locality-aware RT-3 vs baselines (average reductions)",
     )
+
+
+def _render(results, setup) -> str:
+    energy_reduction, time_reduction = headline_reductions(results)
+    return render_summary(energy_reduction, time_reduction)
+
+
+register_experiment(
+    "summary", "Headline reductions: RT-3 vs the four baselines", _render
+)(lambda setup, benchmarks=None: comparison_spec(setup, benchmarks))

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.common.params import MachineConfig
 from repro.experiments.reporting import format_table
+from repro.experiments.spec import register_report
 from repro.workloads.benchmarks import BENCHMARK_ORDER, BENCHMARKS
 
 
@@ -58,3 +59,13 @@ def render_table2() -> str:
         rows,
         title="Table 2: Benchmark catalog",
     )
+
+
+@register_report("table1", "Table 1: architectural parameters of the machine")
+def _report_table1(setup, benchmarks=None) -> str:
+    return render_table1(setup.config)
+
+
+@register_report("table2", "Table 2: the 21-benchmark catalog")
+def _report_table2(setup, benchmarks=None) -> str:
+    return render_table2()

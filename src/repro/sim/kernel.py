@@ -479,6 +479,50 @@ KERNELS: dict[str, type[SimulationKernel]] = {
 #: differentially verified against the reference, so it is the default.
 DEFAULT_KERNEL = "fast"
 
+#: Pseudo-kernel name: probe the trace's run-length structure and pick
+#: ``fast`` or ``batched`` per simulation (see :func:`choose_kernel`).
+#: Resolved by :func:`resolve_kernel` when it is given the traces —
+#: :func:`repro.sim.simulator.simulate` passes them.
+AUTO_KERNEL = "auto"
+
+#: ``auto`` thresholds.  The batched kernel only wins when same-core
+#: runs are long enough to amortize its per-run closure call and
+#: statistics flush, which requires (a) barrier segments substantially
+#: longer than the ~8-L1-latency batching margin and (b) enough per-core
+#: load imbalance that a core actually stays globally earliest for a
+#: while (in lockstep traces the scheduler cuts every run short and the
+#: fast kernel's single-stepping is cheaper).  Both are purely
+#: throughput heuristics: every kernel is bit-identical, so a wrong
+#: pick costs speed, never correctness.
+AUTO_MIN_SEGMENT_LENGTH = 64.0
+AUTO_MIN_IMBALANCE = 1.10
+
+
+def choose_kernel(traces: "TraceSet") -> str:
+    """Pick ``fast`` vs ``batched`` from the trace's run-length structure.
+
+    Probes the same barrier structure the batched kernel's ``run_stops``
+    boundaries encode (via the vectorized ``DecodedTrace.barrier_count``
+    — the probe must stay cheap even when it then picks ``fast``): the
+    mean records per barrier segment measures how long an uninterrupted
+    same-core run *could* get, and the spread of per-core work (records
+    plus compute cycles, a cycle-count proxy) measures whether a
+    straggler core will ever be far enough behind the pack for batching
+    to engage.
+    """
+    decoded = traces.decoded()
+    total_records = sum(d.length for d in decoded)
+    if total_records == 0:
+        return DEFAULT_KERNEL
+    segments = sum(d.barrier_count + 1 for d in decoded)
+    mean_segment = total_records / segments
+    weights = [d.length + d.compute_cycles for d in decoded]
+    mean_weight = sum(weights) / len(weights)
+    imbalance = max(weights) / mean_weight if mean_weight else 1.0
+    if mean_segment >= AUTO_MIN_SEGMENT_LENGTH and imbalance >= AUTO_MIN_IMBALANCE:
+        return BatchedKernel.name
+    return FastKernel.name
+
 
 def kernel_names() -> Iterable[str]:
     """The registered kernel names, in registration order."""
@@ -487,16 +531,25 @@ def kernel_names() -> Iterable[str]:
 
 def resolve_kernel(
     kernel: "str | SimulationKernel | type[SimulationKernel] | None",
+    traces: "TraceSet | None" = None,
 ) -> SimulationKernel:
     """Normalize a kernel selector (name, class, instance or None).
 
     ``None`` falls back to the ``REPRO_SIM_KERNEL`` environment variable,
-    then to :data:`DEFAULT_KERNEL`.
+    then to :data:`DEFAULT_KERNEL`.  ``"auto"`` requires ``traces`` (the
+    probe's input): :func:`repro.sim.simulator.simulate` passes them.
     """
     if kernel is None:
         import os
 
         kernel = os.environ.get("REPRO_SIM_KERNEL") or DEFAULT_KERNEL
+    if kernel == AUTO_KERNEL:
+        if traces is None:
+            raise ValueError(
+                "kernel 'auto' needs the trace to probe; use "
+                "simulate(..., kernel='auto') or choose_kernel(traces)"
+            )
+        kernel = choose_kernel(traces)
     if isinstance(kernel, SimulationKernel):
         return kernel
     if isinstance(kernel, type) and issubclass(kernel, SimulationKernel):

@@ -28,12 +28,14 @@ from __future__ import annotations
 
 from repro.schemes.base import ProtocolEngine
 from repro.sim.kernel import (  # noqa: F401  (re-exported for convenience)
+    AUTO_KERNEL,
     DEFAULT_KERNEL,
     KERNELS,
     BatchedKernel,
     FastKernel,
     ReferenceKernel,
     SimulationKernel,
+    choose_kernel,
     resolve_kernel,
 )
 from repro.sim.stats import SimStats
@@ -49,8 +51,10 @@ def simulate(
 
     ``kernel`` selects the event-loop implementation by name
     (``"fast"``/``"batched"``/``"reference"``), instance, or class;
-    ``None`` uses the ``REPRO_SIM_KERNEL`` environment variable,
-    defaulting to the fast kernel.
+    ``"auto"`` probes the trace's run-length structure and picks fast vs
+    batched (:func:`repro.sim.kernel.choose_kernel`); ``None`` uses the
+    ``REPRO_SIM_KERNEL`` environment variable, defaulting to the fast
+    kernel.
     """
     config = engine.config
     if traces.num_cores != config.num_cores:
@@ -58,7 +62,7 @@ def simulate(
             f"trace has {traces.num_cores} cores but machine has {config.num_cores}"
         )
     traces.validate_coverage()
-    resolve_kernel(kernel).run(engine, traces)
+    resolve_kernel(kernel, traces).run(engine, traces)
     engine.finalize()
     stats = engine.stats
     stats.completion_time = max(stats.core_finish) if stats.core_finish else 0.0

@@ -87,6 +87,11 @@ class DecodedTrace:
         self._gap_prefix: np.ndarray | None = None
 
     @property
+    def barrier_count(self) -> int:
+        """Number of barrier records (vectorized; no run_stops needed)."""
+        return int(np.count_nonzero(self._types_array == AccessType.BARRIER))
+
+    @property
     def run_stops(self) -> list[int]:
         stops = self._run_stops
         if stops is None:

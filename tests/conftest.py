@@ -16,6 +16,21 @@ def pytest_addoption(parser: pytest.Parser) -> None:
     )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory: pytest.TempPathFactory):
+    """Point the experiment ResultStore at a throwaway directory.
+
+    Keeps the suite hermetic: tests never read stale results from (or
+    write into) the developer's real ``REPRO_RESULT_CACHE`` location.
+    """
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv(
+        "REPRO_RESULT_CACHE", str(tmp_path_factory.mktemp("result-store"))
+    )
+    yield
+    patcher.undo()
+
+
 @pytest.fixture
 def tiny_config() -> MachineConfig:
     """4-core machine with hand-traceable cache sizes."""

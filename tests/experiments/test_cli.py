@@ -1,8 +1,11 @@
-"""Command-line interface smoke tests (fast commands only)."""
+"""Command-line interface tests (registry-generated subcommands)."""
 
 import pytest
 
-from repro.experiments.__main__ import COMMANDS, build_parser, main
+from repro.experiments.__main__ import COMMANDS, _expand, build_parser, main
+from repro.experiments.runner import ExperimentSetup
+from repro.experiments.spec import command_names, get_command
+from repro.experiments.store import ResultStore
 
 
 class TestParser:
@@ -11,12 +14,16 @@ class TestParser:
                         "tla", "strategy", "organization", "breakdown"):
             assert command in COMMANDS
 
+    def test_commands_generated_from_registry(self):
+        assert COMMANDS == (*command_names(), "all")
+
     def test_defaults(self):
         args = build_parser().parse_args(["table1"])
         assert args.machine == "small"
         assert args.scale == 1.0
         assert args.seed == 1
         assert args.benchmarks is None
+        assert args.no_cache is False
 
     def test_machine_choices(self):
         with pytest.raises(SystemExit):
@@ -25,6 +32,37 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
+
+    def test_kernel_accepts_auto(self):
+        args = build_parser().parse_args(["fig6", "--kernel", "auto"])
+        assert args.kernel == "auto"
+
+    def test_expand_all_covers_every_registered_command(self):
+        assert _expand("all") == command_names()
+        assert _expand("fig6") == ("fig6",)
+
+
+class TestList:
+    def test_list_prints_catalog(self, capsys):
+        assert main(["--list"]) == 0
+        captured = capsys.readouterr()
+        for name in command_names():
+            assert name in captured.out
+        assert "[grid" in captured.out
+        assert "[report]" in captured.out
+
+    def test_command_required_without_list(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestBenchmarkValidation:
+    def test_unknown_benchmark_fails_fast_with_valid_list(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--benchmarks", "DEDUP,NOPE"])
+        captured = capsys.readouterr()
+        assert "'NOPE'" in captured.err
+        assert "BARNES" in captured.err  # valid names are spelled out
 
 
 class TestFastCommands:
@@ -67,3 +105,60 @@ class TestSimulationCommands:
         captured = capsys.readouterr()
         assert "energy components" in captured.out
         assert "legend:" in captured.out
+
+    def test_cache_stats_reported(self, capsys):
+        store = ResultStore.memory()
+        assert main(
+            ["fig6", "--scale", "0.05", "--benchmarks", "DEDUP"], store=store
+        ) == 0
+        captured = capsys.readouterr()
+        assert "result-store:" in captured.err
+        assert store.misses == 7  # the seven comparison schemes
+
+
+class TestAllDeduplicates:
+    """`all` performs each unique (scheme, benchmark, config, seed,
+    scale) simulation at most once — the ResultStore acceptance check."""
+
+    SCALE = 0.05
+    BENCH = "DEDUP"
+
+    def _unique_grid_points(self):
+        setup = ExperimentSetup.small(scale=self.SCALE, seed=1)
+        probe = ResultStore.memory()
+        keys = set()
+        total = 0
+        for name in command_names():
+            command = get_command(name)
+            if not command.is_grid:
+                continue
+            spec = command.build(setup, [self.BENCH])
+            for point in spec.points:
+                keys.add(probe.key_for(point.fingerprint(setup)))
+                total += 1
+        return keys, total
+
+    def test_each_unique_simulation_runs_once(self, capsys):
+        unique_keys, total_points = self._unique_grid_points()
+        store = ResultStore.memory()
+        assert main([
+            "all", "--scale", str(self.SCALE), "--benchmarks", self.BENCH,
+        ], store=store) == 0
+        assert store.misses == len(unique_keys)
+        assert store.hits == total_points - len(unique_keys)
+        assert store.hits > 0  # the figures genuinely share points
+        captured = capsys.readouterr()
+        assert "Figure 9a" in captured.out
+        assert "Best RT by geomean EDP" in captured.out
+
+    def test_second_invocation_served_from_disk(self, tmp_path, capsys):
+        argv = ["fig9", "--scale", str(self.SCALE), "--benchmarks", self.BENCH]
+        cold = ResultStore(tmp_path / "cache")
+        warm = ResultStore(tmp_path / "cache")
+        assert main(argv, store=cold) == 0
+        assert main(argv, store=warm) == 0
+        capsys.readouterr()
+        assert cold.misses > 0 and cold.hits == 0
+        assert warm.misses == 0
+        assert warm.hit_rate() == 1.0
+        assert warm.disk_hits == cold.misses

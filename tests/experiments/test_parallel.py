@@ -3,7 +3,12 @@
 import pytest
 
 from repro.common.params import MachineConfig
-from repro.experiments.parallel import RunSpec, run_matrix_parallel, run_specs
+from repro.experiments.parallel import (
+    RunSpec,
+    execute_spec_parallel,
+    run_matrix_parallel,
+    run_specs,
+)
 from repro.experiments.runner import ExperimentSetup, run_matrix
 
 
@@ -63,3 +68,36 @@ class TestMatrixEquivalence:
         )
         assert matrix["DEDUP"]["S-NUCA"].completion_time > 0
         assert matrix["DEDUP"]["RT-3"].completion_time > 0
+
+
+class TestExecuteSpecParallel:
+    def test_store_hits_skip_simulation(self, setup):
+        from repro.experiments.spec import ExperimentSpec, RunPoint, execute_spec
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore.memory()
+        spec = ExperimentSpec("par", (RunPoint("S-NUCA", "DEDUP"),))
+        sequential = execute_spec(spec, setup, store=store)
+        parallel = execute_spec_parallel(spec, setup, store, max_workers=1)
+        assert store.misses == 1 and store.hits == 1
+        assert (
+            parallel["DEDUP"]["S-NUCA"].completion_time
+            == sequential["DEDUP"]["S-NUCA"].completion_time
+        )
+
+    def test_duplicate_addresses_simulated_once(self, setup):
+        from repro.experiments.spec import ExperimentSpec, RunPoint
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore.memory()
+        spec = ExperimentSpec(
+            "dupes",
+            (
+                RunPoint("RT-3", "DEDUP", label="first"),
+                RunPoint("RT-3", "DEDUP", label="second"),
+            ),
+        )
+        results = execute_spec_parallel(spec, setup, store, max_workers=1)
+        # Same accounting as the sequential executor: one miss, one hit.
+        assert store.misses == 1 and store.hits == 1
+        assert results["DEDUP"]["first"] is results["DEDUP"]["second"]

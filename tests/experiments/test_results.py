@@ -1,0 +1,125 @@
+"""ResultSet query layer: pivot / normalized_to / aggregates vs hand tables."""
+
+import pytest
+
+from repro.experiments.results import ResultSet
+from repro.experiments.runner import RunResult
+from repro.experiments.spec import ExperimentSpec, RunPoint
+from repro.sim.stats import SimStats
+
+
+def fake_result(scheme, benchmark, energy, time):
+    stats = SimStats(num_cores=4)
+    stats.completion_time = time
+    return RunResult(scheme, benchmark, stats, {"LLC": energy})
+
+
+@pytest.fixture
+def rset():
+    grid = {
+        ("A", "S-NUCA"): (8.0, 100.0),
+        ("A", "RT-3"): (4.0, 50.0),
+        ("B", "S-NUCA"): (2.0, 10.0),
+        ("B", "RT-3"): (1.0, 20.0),
+    }
+    results = {
+        RunPoint(scheme, benchmark): fake_result(scheme, benchmark, energy, time)
+        for (benchmark, scheme), (energy, time) in grid.items()
+    }
+    spec = ExperimentSpec("unit", tuple(results), baseline="S-NUCA")
+    return ResultSet.from_spec(spec, results)
+
+
+class TestPivot:
+    def test_pivot_energy(self, rset):
+        assert rset.pivot("total_energy") == {
+            "A": {"S-NUCA": 8.0, "RT-3": 4.0},
+            "B": {"S-NUCA": 2.0, "RT-3": 1.0},
+        }
+
+    def test_pivot_callable_value(self, rset):
+        table = rset.pivot(lambda r: r.completion_time * 2)
+        assert table["A"]["S-NUCA"] == 200.0
+
+    def test_pivot_alternate_axes(self, rset):
+        table = rset.pivot("total_energy", row="scheme", col="benchmark")
+        assert table == {
+            "S-NUCA": {"A": 8.0, "B": 2.0},
+            "RT-3": {"A": 4.0, "B": 1.0},
+        }
+
+
+class TestNormalization:
+    def test_normalized_to_baseline(self, rset):
+        table = rset.normalized_to("S-NUCA", "total_energy")
+        assert table == {
+            "A": {"S-NUCA": 1.0, "RT-3": 0.5},
+            "B": {"S-NUCA": 1.0, "RT-3": 0.5},
+        }
+
+    def test_spec_baseline_is_the_default(self, rset):
+        assert rset.normalized_to(value="completion_time")["B"]["RT-3"] == 2.0
+
+    def test_missing_baseline_raises(self, rset):
+        with pytest.raises(KeyError):
+            rset.normalized_to("VR")
+
+    def test_no_baseline_anywhere_raises(self, rset):
+        rset.baseline = None
+        with pytest.raises(ValueError):
+            rset.normalized_to()
+
+
+class TestAggregates:
+    def test_mean(self, rset):
+        assert rset.mean("total_energy") == {"S-NUCA": 5.0, "RT-3": 2.5}
+
+    def test_geomean(self, rset):
+        assert rset.geomean("total_energy") == {
+            "S-NUCA": pytest.approx(4.0), "RT-3": pytest.approx(2.0),
+        }
+
+    def test_normalized_geomean(self, rset):
+        # time ratios: A 0.5, B 2.0 -> geomean 1.0
+        table = rset.geomean("completion_time", baseline="S-NUCA")
+        assert table["RT-3"] == pytest.approx(1.0)
+        assert table["S-NUCA"] == pytest.approx(1.0)
+
+
+class TestLegacyMappingShape:
+    def test_rows_and_labels_ordered(self, rset):
+        assert rset.benchmarks() == ("A", "B")
+        assert rset.labels() == ("S-NUCA", "RT-3")
+        assert list(rset) == ["A", "B"]
+        assert len(rset) == 2
+
+    def test_subscription(self, rset):
+        assert rset["A"]["RT-3"].total_energy == 4.0
+        assert set(rset["B"]) == {"S-NUCA", "RT-3"}
+
+    def test_ensure_wraps_legacy_dict(self):
+        legacy = {
+            "A": {"x": fake_result("x", "A", 3.0, 30.0)},
+            "B": {"x": fake_result("x", "B", 6.0, 60.0)},
+        }
+        rset = ResultSet.ensure(legacy)
+        assert rset.pivot("total_energy") == {"A": {"x": 3.0}, "B": {"x": 6.0}}
+        assert ResultSet.ensure(rset) is rset
+
+    def test_ensure_preserves_non_string_labels(self):
+        legacy = {"A": {1: fake_result("RT-1", "A", 1.0, 1.0),
+                        3: fake_result("RT-3", "A", 2.0, 2.0)}}
+        rset = ResultSet.ensure(legacy)
+        assert rset.labels() == (1, 3)
+        assert rset["A"][3].total_energy == 2.0
+
+    def test_distinct_points_sharing_a_cell_rejected(self):
+        # Two different RT-3 configs with no labels would both land on
+        # the ("A", "RT-3") cell and silently shadow each other.
+        colliding = {
+            RunPoint("RT-3", "A"): fake_result("RT-3", "A", 1.0, 1.0),
+            RunPoint("RT-3", "A", config_overrides={"cluster_size": 4}):
+                fake_result("RT-3", "A", 2.0, 2.0),
+        }
+        with pytest.raises(ValueError, match="distinct labels"):
+            ResultSet(colliding)

@@ -78,3 +78,10 @@ class TestRunMatrix:
         results = run_matrix(setup, ["S-NUCA", "RT-3"], ["DEDUP", "BARNES"])
         assert set(results) == {"DEDUP", "BARNES"}
         assert set(results["DEDUP"]) == {"S-NUCA", "RT-3"}
+
+    def test_generator_schemes_cover_every_benchmark(self, setup):
+        """A one-shot iterable must not be exhausted after the first row."""
+        results = run_matrix(
+            setup, (scheme for scheme in ("S-NUCA", "RT-3")), ["DEDUP", "BARNES"]
+        )
+        assert set(results["BARNES"]) == {"S-NUCA", "RT-3"}

@@ -1,0 +1,134 @@
+"""Content-addressed ResultStore: hashing, accounting, disk round-trip."""
+
+import json
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.experiments.runner import ExperimentSetup, run_one
+from repro.experiments.spec import RunPoint
+from repro.experiments.store import (
+    CACHE_ENV_VAR,
+    ResultStore,
+    decode_result,
+    default_cache_dir,
+    encode_result,
+    fingerprint_key,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(MachineConfig.small(), scale=0.05, seed=2)
+
+
+@pytest.fixture(scope="module")
+def result(setup):
+    return run_one(setup, "RT-3", "DEDUP")
+
+
+class TestKeying:
+    def test_key_is_stable_and_hex(self):
+        fingerprint = {"scheme": "RT-3", "benchmark": "DEDUP", "seed": 1}
+        key = fingerprint_key(fingerprint)
+        assert key == fingerprint_key(dict(reversed(list(fingerprint.items()))))
+        assert len(key) == 64
+        int(key, 16)  # hex digest
+
+    def test_different_fingerprints_different_keys(self):
+        first = fingerprint_key({"scheme": "RT-3", "seed": 1})
+        second = fingerprint_key({"scheme": "RT-3", "seed": 2})
+        assert first != second
+
+
+class TestAccounting:
+    def test_get_or_run_counts_and_memoizes(self, result):
+        store = ResultStore.memory()
+        calls = []
+
+        def thunk():
+            calls.append(1)
+            return result
+
+        first = store.get_or_run("key", thunk)
+        second = store.get_or_run("key", thunk)
+        assert first is result and second is result
+        assert len(calls) == 1
+        assert (store.hits, store.misses) == (1, 1)
+        assert store.hit_rate() == 0.5
+
+    def test_idle_store_reports_zero_rate(self):
+        store = ResultStore.memory()
+        assert store.hit_rate() == 0.0
+        assert "0 hits" in store.describe()
+
+
+class TestDiskRoundTrip:
+    def test_exact_round_trip(self, result):
+        payload = json.loads(json.dumps(encode_result(result)))
+        restored = decode_result(payload)
+        assert restored.scheme == result.scheme
+        assert restored.benchmark == result.benchmark
+        assert restored.asr_level == result.asr_level
+        assert restored.energy_breakdown == result.energy_breakdown
+        assert restored.total_energy == result.total_energy  # bit-exact floats
+        assert restored.completion_time == result.completion_time
+        assert restored.stats.counters == result.stats.counters
+        assert restored.stats.energy_counts == result.stats.energy_counts
+        assert restored.stats.latency == result.stats.latency
+        assert restored.stats.miss_status == result.stats.miss_status
+        assert restored.stats.core_finish == result.stats.core_finish
+
+    def test_persisted_across_store_instances(self, tmp_path, result):
+        first = ResultStore(tmp_path / "cache")
+        assert first.get("deadbeef") is None
+        first.put("deadbeef", result)
+
+        second = ResultStore(tmp_path / "cache")
+        restored = second.get("deadbeef")
+        assert restored is not None
+        assert second.disk_hits == 1
+        assert restored.completion_time == result.completion_time
+        assert restored.stats.counters == result.stats.counters
+
+    def test_corrupt_file_is_a_miss(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put("cafe", result)
+        (tmp_path / "cafe.json").write_text("{not json", encoding="utf-8")
+        fresh = ResultStore(tmp_path)
+        assert fresh.get("cafe") is None
+        assert fresh.misses == 1
+
+    def test_memory_store_touches_no_disk(self, tmp_path, result, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        store = ResultStore.memory()
+        store.put("beef", result)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestEnvironmentControls:
+    def test_env_path_selects_location(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "here"))
+        store = ResultStore.from_env()
+        assert store.root == tmp_path / "here"
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "none", "OFF"])
+    def test_env_disables_disk(self, value, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, value)
+        assert ResultStore.from_env().root is None
+
+    def test_default_location_used_when_unset(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert ResultStore.from_env().root == default_cache_dir()
+
+
+class TestInvalidation:
+    def test_config_change_misses(self, setup, tmp_path, result):
+        store = ResultStore(tmp_path)
+        base_point = RunPoint("RT-3", "DEDUP")
+        tuned_point = RunPoint(
+            "RT-3", "DEDUP", config_overrides={"cluster_size": 4}
+        )
+        store.put(store.key_for(base_point.fingerprint(setup)), result)
+        assert store.get(store.key_for(tuned_point.fingerprint(setup))) is None
+        assert store.get(store.key_for(base_point.fingerprint(setup))) is not None

@@ -324,3 +324,81 @@ class TestPerturbation:
         config, traces = traces_small
         with pytest.raises(NotImplementedError):
             SimulationKernel().run(make_scheme("S-NUCA", config), traces)
+
+
+class TestAutoKernelSelection:
+    """kernel="auto": probe run-length structure, pick fast vs batched."""
+
+    @staticmethod
+    def _trace_set(lengths, barriers=0):
+        """Synthetic TraceSet: per-core READ streams, ``barriers`` evenly
+        spaced barrier records on every core (TraceSet requires cores to
+        agree on the barrier count)."""
+        import numpy as np
+
+        from repro.common.addr import Region
+        from repro.common.types import LineClass
+        from repro.workloads.trace import CoreTrace, TraceSet
+
+        cores = []
+        for length in lengths:
+            types = np.zeros(length, dtype=np.uint8)  # READ
+            if barriers and length:
+                spacing = max(1, length // (barriers + 1))
+                positions = [min(length - 1, (i + 1) * spacing)
+                             for i in range(barriers)]
+                types[positions] = int(AccessType.BARRIER)
+                assert int((types == int(AccessType.BARRIER)).sum()) == barriers
+            cores.append(CoreTrace(
+                types=types,
+                lines=np.arange(length, dtype=np.int64),
+                gaps=np.zeros(length, dtype=np.uint16),
+            ))
+        region = Region(base=0, size=max(lengths) + 1)
+        return TraceSet("synthetic", cores, [(region, LineClass.PRIVATE)])
+
+    def test_imbalanced_run_heavy_picks_batched(self):
+        from repro.sim.kernel import choose_kernel
+
+        traces = self._trace_set([4000, 500, 500, 500])
+        assert choose_kernel(traces) == "batched"
+
+    def test_barrier_dense_picks_fast(self):
+        from repro.sim.kernel import choose_kernel
+
+        # Same imbalanced lengths, but ~8-record barrier segments on
+        # the straggler: runs can't grow, so batching can't pay off.
+        traces = self._trace_set([4000, 500, 500, 500], barriers=499)
+        assert choose_kernel(traces) == "fast"
+
+    def test_balanced_lockstep_picks_fast(self):
+        from repro.sim.kernel import choose_kernel
+
+        traces = self._trace_set([1000, 1000, 1000, 1000])
+        assert choose_kernel(traces) == "fast"
+
+    def test_empty_trace_falls_back_to_default(self):
+        from repro.sim.kernel import choose_kernel
+
+        traces = self._trace_set([0, 0, 0, 0])
+        assert choose_kernel(traces) == DEFAULT_KERNEL
+
+    def test_resolve_kernel_rejects_auto_without_traces(self):
+        from repro.sim.kernel import AUTO_KERNEL
+
+        with pytest.raises(ValueError, match="auto"):
+            resolve_kernel(AUTO_KERNEL)
+
+    def test_simulate_auto_is_bit_identical(self, traces_small):
+        config, traces = traces_small
+        auto_stats = simulate(make_scheme("RT-3", config), traces, kernel="auto")
+        ref_stats = simulate(
+            make_scheme("RT-3", config), traces, kernel="reference"
+        )
+        assert_stats_equal(ref_stats, auto_stats, context="auto kernel")
+
+    def test_environment_selects_auto(self, traces_small, monkeypatch):
+        config, traces = traces_small
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "auto")
+        stats = simulate(make_scheme("S-NUCA", config), traces)
+        assert stats.completion_time > 0
