@@ -14,7 +14,14 @@ experiments.  Three workload regimes are measured:
   long same-core L1-hit runs while the other cores stream and park at
   barriers.  This is the regime the batched kernel targets: whole runs
   are serviced per scheduler entry, and ≥1.3× over the *fast* kernel is
-  asserted here.
+  asserted here;
+* ``REPLHEAVY`` — the same load-imbalanced shape, but the straggler's
+  working set overflows its L1 and is *shared*, so under the
+  locality-aware scheme most of its accesses are serviced by local LLC
+  replicas.  This is the paper's headline regime and the target of the
+  batched kernel's local-replica fast path: replica hits batch like L1
+  hits instead of single-stepping the miss path, and ≥1.3× over the
+  *fast* kernel is asserted here.
 
 Every regime is measured under all three kernels so the uploaded
 benchmark JSON (and the checked-in ``benchmarks/baseline.json`` trend
@@ -130,6 +137,88 @@ def build_runheavy_traces(
     return TraceSet("RUNHEAVY", cores, regions)
 
 
+def build_replheavy_traces(
+    config: MachineConfig,
+    phases: int = 6,
+    hit_per_phase: int = 10000,
+    stream_per_phase: int = 12,
+    ws_x_l1d: float = 2.0,
+) -> TraceSet:
+    """Load-imbalanced trace whose straggler is replica-hit-dominated.
+
+    Core 0 sweeps a *shared* region twice the L1-D capacity with zero
+    compute gaps: too big to live in the L1, small enough that (under
+    the locality-aware scheme) every line earns a local replica, so in
+    steady state each access is either an L1 hit or a local-replica hit
+    with a local victim merge — exactly the constant-latency run the
+    replica fast path batches.  Every other core makes one pass over the
+    region in the first phase (marking its pages shared, so R-NUCA
+    distributes the homes and replicas actually help), then streams far
+    beyond the LLC and parks at the phase barrier, leaving core 0 the
+    longest possible scheduling runs.
+    """
+    num_cores = config.num_cores
+    replica_lines = max(8, round(config.l1d.lines * ws_x_l1d))
+    stream_lines = config.llc_slice.lines * num_cores * 4
+    replica_region = Region(0, replica_lines)
+    stream_region = Region(replica_lines, stream_lines)
+    regions = [
+        (replica_region, LineClass.SHARED_RO),
+        (stream_region, LineClass.SHARED_RW),
+    ]
+    barrier = np.uint8(AccessType.BARRIER)
+
+    def with_barriers(chunks):
+        out_types = np.concatenate(
+            [part for t, _l, _g in chunks for part in (t, np.full(1, barrier))]
+        )
+        out_lines = np.concatenate(
+            [part for _t, l, _g in chunks
+             for part in (l, np.zeros(1, dtype=np.int64))]
+        )
+        out_gaps = np.concatenate(
+            [part for _t, _l, g in chunks
+             for part in (g, np.zeros(1, dtype=np.uint16))]
+        )
+        return CoreTrace(out_types, out_lines, out_gaps)
+
+    cores = []
+    sweep = np.arange(hit_per_phase) % replica_lines
+    cores.append(with_barriers([
+        (np.full(hit_per_phase, int(AccessType.READ), dtype=np.uint8),
+         (replica_region.base + sweep).astype(np.int64),
+         np.zeros(hit_per_phase, dtype=np.uint16))
+        for _phase in range(phases)
+    ]))
+    warm = np.arange(replica_lines)
+    for core in range(1, num_cores):
+        chunks = []
+        for phase in range(phases):
+            offsets = (
+                (np.arange(stream_per_phase) * 7 + core * 1013
+                 + phase * stream_per_phase * 7) % stream_lines
+            )
+            types = np.full(stream_per_phase, int(AccessType.READ), dtype=np.uint8)
+            lines = (stream_region.base + offsets).astype(np.int64)
+            gaps = np.full(stream_per_phase, 20, dtype=np.uint16)
+            if phase == 0:
+                # One shared pass over the replica region: R-NUCA sees
+                # multiple touchers and spreads the homes.
+                types = np.concatenate([
+                    np.full(replica_lines, int(AccessType.READ), dtype=np.uint8),
+                    types,
+                ])
+                lines = np.concatenate([
+                    (replica_region.base + warm).astype(np.int64), lines,
+                ])
+                gaps = np.concatenate([
+                    np.zeros(replica_lines, dtype=np.uint16), gaps,
+                ])
+            chunks.append((types, lines, gaps))
+        cores.append(with_barriers(chunks))
+    return TraceSet("REPLHEAVY", cores, regions)
+
+
 @pytest.fixture(scope="module")
 def shared_trace():
     config = MachineConfig.small()
@@ -146,6 +235,12 @@ def hotloop_trace():
 def runheavy_trace():
     config = MachineConfig.small()
     return config, build_runheavy_traces(config)
+
+
+@pytest.fixture(scope="module")
+def replheavy_trace():
+    config = MachineConfig.small()
+    return config, build_replheavy_traces(config)
 
 
 @pytest.mark.parametrize("kernel", KERNELS)
@@ -189,6 +284,21 @@ def test_runheavy_throughput(benchmark, runheavy_trace, kernel):
         traces.total_accesses() / benchmark.stats.stats.mean
     )
     assert stats.completion_time > 0
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_replheavy_throughput(benchmark, replheavy_trace, kernel):
+    config, traces = replheavy_trace
+
+    def run():
+        return simulate(make_scheme("RT-3", config), traces, kernel=kernel)
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["accesses_per_second"] = (
+        traces.total_accesses() / benchmark.stats.stats.mean
+    )
+    # The regime is meaningful only while replicas service the straggler.
+    assert stats.miss_breakdown()["LLC-Replica-Hits"] > 0.5
 
 
 def _best_rate(kernel, scheme, config, traces, rounds=3):
@@ -236,6 +346,28 @@ def test_batched_kernel_speedup_on_runheavy(runheavy_trace, scheme):
     )
     assert speedup >= BATCHED_SPEEDUP_FLOOR, (
         f"batched kernel only {speedup:.2f}x over fast on {scheme} "
+        f"(required >= {BATCHED_SPEEDUP_FLOOR}x)"
+    )
+
+
+@pytest.mark.parametrize("scheme", ["RT-1", "RT-3"])
+def test_batched_kernel_speedup_on_replheavy(replheavy_trace, scheme):
+    """Acceptance gate: with the local-replica fast path, the batched
+    kernel is ≥1.3× the *fast* kernel on the replica-dominated regime —
+    the workloads the paper cares about most used to be the ones the
+    batched kernel helped least (replica hits single-stepped the miss
+    path; REPRO_BATCHED_SPEEDUP_MIN relaxes the floor on noisy
+    runners)."""
+    config, traces = replheavy_trace
+    fast_rate = _best_rate("fast", scheme, config, traces)
+    batched_rate = _best_rate("batched", scheme, config, traces)
+    speedup = batched_rate / fast_rate
+    print(
+        f"\n{scheme}: fast {fast_rate:,.0f} acc/s, "
+        f"batched {batched_rate:,.0f} acc/s — {speedup:.2f}x (REPLHEAVY)"
+    )
+    assert speedup >= BATCHED_SPEEDUP_FLOOR, (
+        f"batched kernel only {speedup:.2f}x over fast on {scheme} REPLHEAVY "
         f"(required >= {BATCHED_SPEEDUP_FLOOR}x)"
     )
 

@@ -27,8 +27,14 @@ original statistics digit for digit.
 Controls:
 
 * ``REPRO_RESULT_CACHE=<dir>`` relocates the on-disk store;
-* ``REPRO_RESULT_CACHE=off`` (or ``0``/``none``/empty) disables disk
+* ``REPRO_RESULT_CACHE=off`` (or ``0``/``none``/``false``) disables disk
   persistence (the in-memory layer still deduplicates one invocation);
+* an empty or whitespace-only value is treated as *unset* and falls
+  back to the default location (previously it disabled persistence):
+  ``REPRO_RESULT_CACHE= cmd`` and unset-variable interpolation usually
+  mean "no opinion", and the explicit spellings above remain the way to
+  opt out — never as ``Path("")``, which would be the current working
+  directory;
 * ``--no-cache`` on the CLI does the same for a single invocation.
 
 Hit/miss accounting (:attr:`ResultStore.hits` / :attr:`misses`) is the
@@ -39,6 +45,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 from collections import Counter
@@ -54,10 +61,29 @@ from repro.sim.stats import SimStats
 STORE_VERSION = 1
 
 #: Environment variable controlling the on-disk location (a path) or
-#: disabling persistence (``off``/``0``/``none``/empty).
+#: disabling persistence (``off``/``0``/``none``; empty falls back to
+#: the default location).
 CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
 
-_DISABLED_VALUES = ("", "0", "off", "none", "disabled", "false")
+_DISABLED_VALUES = ("0", "off", "none", "disabled", "false")
+
+#: Process-wide sequence for temp-file names: combined with the pid it
+#: makes every write's temp path unique across *all* concurrent writers
+#: (stores in this process, ``--parallel`` workers, other invocations
+#: sharing the cache directory), so no two writers can interleave into
+#: the same temp file and ``os.replace`` a torn payload.
+_TMP_SEQUENCE = itertools.count()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0; EPERM still means alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
 
 
 def default_cache_dir() -> Path:
@@ -151,15 +177,52 @@ class ResultStore:
         if self.root is not None:
             self.root = Path(self.root)
         self._memory: dict[str, RunResult] = {}
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Drop ``*.tmp`` litter left behind by crashed writers.
+
+        Runs once on store open; a temp file only survives a write that
+        died between creation and ``os.replace``.  Only the store's own
+        name shapes are swept (``<key>.json.tmp`` from older versions,
+        ``<key>.json.<pid>.<seq>.tmp`` from this one) — the directory
+        may hold foreign files — and a pid-stamped file whose writer is
+        still alive is left alone (it is an in-flight write of a
+        concurrent invocation, not litter).  Best-effort: pids recycle
+        (a falsely "alive" stale file waits for the next sweep) and
+        unlink errors are ignored.
+        """
+        if self.root is None or not self.root.is_dir():
+            return
+        for pattern in ("*.json.tmp", "*.json.*.tmp"):
+            for stale in self.root.glob(pattern):
+                parts = stale.name.split(".")
+                # <key>.json.<pid>.<seq>.tmp — skip live writers.
+                if len(parts) >= 5:
+                    try:
+                        writer = int(parts[-3])
+                    except ValueError:
+                        writer = None
+                    if writer is not None and _pid_alive(writer):
+                        continue
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
 
     # -- construction --------------------------------------------------------
     @classmethod
     def from_env(cls) -> "ResultStore":
         """Build the store the CLI uses, honoring ``REPRO_RESULT_CACHE``."""
         value = os.environ.get(CACHE_ENV_VAR)
-        if value is None:
+        if value is not None:
+            value = value.strip()
+        if not value:
+            # Unset, empty or whitespace-only: the default location —
+            # an empty value means "no opinion", not "disable", and must
+            # never reach Path("") (the current working directory).
             return cls(default_cache_dir())
-        if value.strip().lower() in _DISABLED_VALUES:
+        if value.lower() in _DISABLED_VALUES:
             return cls(None)
         return cls(Path(value))
 
@@ -242,12 +305,19 @@ class ResultStore:
             # fresh result overwrites it.
             return None
 
+    def _tmp_path_for(self, key: str) -> Path:
+        """A temp path no other writer (process or store) can collide on."""
+        assert self.root is not None
+        return self.root / (
+            f"{key}.json.{os.getpid()}.{next(_TMP_SEQUENCE)}.tmp"
+        )
+
     def _write_disk(self, key: str, result: RunResult) -> None:
         if self.root is None:
             return
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path_for(key)
-        tmp = path.with_suffix(".json.tmp")
+        tmp = self._tmp_path_for(key)
         try:
             with tmp.open("w", encoding="utf-8") as handle:
                 json.dump(encode_result(result), handle)

@@ -306,16 +306,108 @@ class ProtocolEngine:
 
         return fast_access
 
+    def _make_replica_service(self):
+        """Scheme hook behind the batched kernel's local-replica fast path.
+
+        Returns ``None`` (the base machine keeps no replicas, so replica
+        hits are never batchable) or a closure ``service(core, line_addr,
+        write)`` that tries to service one L1-missing access as a
+        *no-coherence* hit in the core's local LLC replica slice:
+
+        * when the access is not serviceable inline — no replica, a write
+          against a non-writable replica (directory upgrade), the local
+          slice holding the *home* entry, or any other case that must run
+          the full miss path — it returns ``None`` **without mutating any
+          state**, and the kernel single-steps the record through
+          :meth:`access` semantics instead;
+        * otherwise it commits the replica-side effects of
+          :meth:`local_lookup` for this scheme (reuse-counter increment,
+          LRU touch, ``l1_copy``, VR's exclusive-move removal, a write's
+          M-state transition) and returns ``(state, dirty)`` — the MESI
+          grant and dirty flag the L1 fill receives.
+
+        The base closure in :meth:`make_batched_access` owns everything
+        scheme-independent: the L1-victim precheck, the L1 fill and the
+        per-run statistics flush.  Implementations must guard their own
+        inlined hooks (decline when :meth:`local_lookup` is overridden
+        further) and decline configurations whose replica hits are not
+        constant-latency (e.g. cluster-level replication, whose probes
+        cross the mesh).
+        """
+        return None
+
+    def _replica_batching_guards(self) -> bool:
+        """Scheme-independent guards of the batched replica fast path.
+
+        No observer (``on_replica_access`` fires per hit, in order),
+        integer-valued replica-hit latency components (the per-run
+        ``n * probe_cost`` flush is only exact for integers), and the
+        miss/fill helpers the fast path inlines not overridden.
+        """
+        if self.observer is not None:
+            return False
+        if not (
+            float(self.config.llc_tag_latency).is_integer()
+            and float(self.config.llc_data_latency).is_integer()
+        ):
+            return False
+        return not (
+            "_handle_l1_miss" in self.__dict__
+            or "_fill_l1" in self.__dict__
+            or type(self)._handle_l1_miss is not ProtocolEngine._handle_l1_miss
+            or type(self)._fill_l1 is not ProtocolEngine._fill_l1
+        )
+
+    def _stock_eviction_hooks(self) -> bool:
+        """Whether L1 victims take the base (replica-merge capable) path.
+
+        Only then can the batched closure dispose of an evicted L1
+        victim inline — by merging it into its own local replica — which
+        is what keeps replica runs going once the L1 is full.
+        """
+        return not (
+            "handle_l1_eviction" in self.__dict__
+            or "_notify_home_of_l1_eviction" in self.__dict__
+            or type(self).handle_l1_eviction is not ProtocolEngine.handle_l1_eviction
+            or type(self)._notify_home_of_l1_eviction
+            is not ProtocolEngine._notify_home_of_l1_eviction
+        )
+
+    def supports_replica_batching(self) -> bool:
+        """Whether batched replica runs *sustain* in the full-L1 steady state.
+
+        The ``auto`` kernel probe's replica-friendliness signal
+        (:func:`repro.sim.kernel.choose_kernel`).  Deliberately stricter
+        than "the fast path exists": it also requires the stock eviction
+        hooks, because once the L1 is full every replica-hit fill evicts
+        a victim, and a scheme with overridden eviction hooks (VR's
+        victim placement, ASR's probabilistic replication) single-steps
+        those records — its replica hits batch only opportunistically
+        while L1 sets have room, which does not justify steering
+        ``auto`` toward the batched kernel.
+        """
+        return (
+            self._replica_batching_guards()
+            and self._stock_eviction_hooks()
+            and self._make_replica_service() is not None
+        )
+
     def make_batched_access(self, charge_gaps: bool = False):
         """Run-servicing entry point for the batched simulation kernel.
 
         Returns a closure ``run_hits(core, decoded, index, stop, now,
         limit, strict)`` that executes records ``decoded[index:]`` for as
-        long as they are L1 hits, stopping at the first of:
+        long as they are L1 hits — or, for replicating schemes
+        (:meth:`_make_replica_service`), constant-latency local-replica
+        hits — stopping at the first of:
 
-        * a record that misses the L1 (including a write against a
-          SHARED copy, which needs a directory upgrade) — the kernel
-          services it through the fast-access miss path;
+        * a record that must run the full miss path: an L1 miss with no
+          serviceable local replica, a write needing a directory upgrade
+          (against a SHARED L1 copy or a non-writable replica), or a
+          replica-hit fill whose L1 victim cannot be disposed of locally
+          (any event that can mutate replica or directory state beyond
+          the run's own slice — the kernel services it through the
+          fast-access miss path);
         * ``stop`` — the run boundary the kernel computed (the next
           barrier record or the end of the trace);
         * the scheduling limit — after a record completes at time ``t``,
@@ -330,6 +422,17 @@ class ProtocolEngine:
         (``charge_gaps`` switches to per-record charging, which the
         kernel requests when gaps are fractional and the reference
         accumulation order is therefore observable).
+
+        A batched replica hit replays the reference path exactly: the
+        scheme service commits the :meth:`local_lookup` effects (reuse
+        increment with the same saturation, the same single LRU touch),
+        the closure fills the L1 — including merging an evicted L1
+        victim into its own local replica when the scheme uses the stock
+        eviction path, the common steady state once the L1 is full — and
+        the flush adds the per-hit ``L1-To-LLC-Replica`` probe cost,
+        ``LLC_REPLICA_HIT`` statuses and tag/data energies.  Its clock
+        charge keeps the reference operation grouping
+        ``(probe + data) + l1`` per record.
 
         All side effects are bit-identical to issuing the same records
         through :meth:`access` — enforced by ``repro.testing``.  Returns
@@ -364,15 +467,97 @@ class ProtocolEngine:
         # inline here: _array.access plus the write-permission check.
         instr_probe = [cache._array.access for cache in self.l1i]
         data_probe = [cache._array.access for cache in self.l1d]
+        l1i_caches = self.l1i
+        l1d_caches = self.l1d
         READ = AccessType.READ
         WRITE = AccessType.WRITE
         MODIFIED = MESIState.MODIFIED
         L1_HIT = MissStatus.L1_HIT
+        LLC_REPLICA_HIT = MissStatus.LLC_REPLICA_HIT
         COMPUTE = stat_names.COMPUTE
         L1_HIT_TIME = stat_names.L1_HIT_TIME
+        L1_TO_LLC_REPLICA = stat_names.L1_TO_LLC_REPLICA
         L1I_READ = energy_events.L1I_READ
         L1D_READ = energy_events.L1D_READ
+        L1I_WRITE = energy_events.L1I_WRITE
         L1D_WRITE = energy_events.L1D_WRITE
+        LLC_TAG_READ = energy_events.LLC_TAG_READ
+        LLC_DATA_READ = energy_events.LLC_DATA_READ
+        LLC_DATA_WRITE = energy_events.LLC_DATA_WRITE
+
+        replica_service = (
+            self._make_replica_service() if self._replica_batching_guards() else None
+        )
+        # Per-record replica-hit latency with the reference operation
+        # grouping (AccessResult(probe + hit.latency) then + l1_latency);
+        # probe_cost is the constant local-slice tag probe every scheme's
+        # local_lookup charges on a (non-cluster) replica hit.
+        probe_cost = float(self.config.llc_tag_latency)
+        replica_latency = (probe_cost + float(self.config.llc_data_latency)) + l1_latency
+        # An L1 victim evicted by a replica-hit fill can be disposed of
+        # inline only through the stock eviction path's replica-merge arm
+        # (no mesh traffic); schemes overriding the eviction hooks (VR's
+        # victim placement, ASR's probabilistic replication) single-step
+        # any record whose fill would evict.
+        inline_victims = replica_service is not None and self._stock_eviction_hooks()
+        slices = self.slices
+        replica_slice_for = self.replica_slice_for
+
+        # Replica-record service outcomes (bit flags accumulated by the
+        # flush): 0 = not serviceable inline (single-step the record).
+        SERVED = 1
+        SERVED_EVICT = 2
+        SERVED_EVICT_DIRTY = 3
+
+        def replica_record(core, line_addr, write, l1):
+            """Inline one replica hit + L1 fill; returns a SERVED_* code.
+
+            Mirrors access() for a no-coherence replica hit exactly:
+            local_lookup's replica-side effects (committed by the scheme
+            service), then _fill_l1 — including the stock eviction
+            path's local replica-merge of an evicted L1 victim.  All
+            prechecks run before any mutation, so a 0 return leaves the
+            machine untouched for the single-step fallback.
+            """
+            victim = l1._array.victim_for(line_addr)
+            if victim is not None:
+                if not inline_victims:
+                    return 0
+                victim_replica = slices[
+                    replica_slice_for(core, victim.line_addr)
+                ].replica(victim.line_addr)
+                if victim_replica is None:
+                    # The victim would notify its home (possible mesh
+                    # traffic / directory update): not schedule-free.
+                    return 0
+            grant = replica_service(core, line_addr, write)
+            if grant is None:
+                return 0
+            state, rep_dirty = grant
+            # The L1 fill, inlined from L1Cache.insert minus the lookup
+            # (the probe just missed) and the victim re-selection (no L1
+            # mutation since the precheck — same victim).
+            array = l1._array
+            if victim is not None:
+                array.remove(victim.line_addr)
+            entry = L1Line(line_addr, state)
+            array.insert(entry)
+            if rep_dirty:
+                entry.dirty = True
+            if write:
+                entry.state = MODIFIED
+                entry.dirty = True
+            if victim is None:
+                return SERVED
+            # The merge arm of _notify_home_of_l1_eviction: dirty data
+            # folds into the victim's replica, the core stays a sharer.
+            victim_replica.l1_copy = False
+            if victim.dirty or victim.state is MODIFIED:
+                victim_replica.dirty = True
+                if victim_replica.state.writable:
+                    victim_replica.state = MODIFIED
+                return SERVED_EVICT_DIRTY
+            return SERVED_EVICT
 
         def run_hits(core, decoded, index, stop, now, limit, strict):
             atypes = decoded.atypes
@@ -380,32 +565,74 @@ class ProtocolEngine:
             gaps = decoded.gaps
             probe_data = data_probe[core]
             probe_instr = instr_probe[core]
+            l1_data = l1d_caches[core]
+            l1_instr = l1i_caches[core]
             start = index
             n_data = 0
             n_instr = 0
             n_write = 0
+            r_data = 0
+            r_instr = 0
+            n_evict = 0
+            n_evict_dirty = 0
             yielded = False
             while index < stop:
                 atype = atypes[index]
                 line_addr = lines[index]
+                latency = l1_latency
                 if atype is READ:
                     entry = probe_data(line_addr)
-                    if entry is None:
-                        break
-                    n_data += 1
+                    if entry is not None:
+                        n_data += 1
+                    else:
+                        if replica_service is None:
+                            break
+                        code = replica_record(core, line_addr, False, l1_data)
+                        if not code:
+                            break
+                        r_data += 1
+                        if code > SERVED:
+                            n_evict += 1
+                            if code == SERVED_EVICT_DIRTY:
+                                n_evict_dirty += 1
+                        latency = replica_latency
                 elif atype is WRITE:
                     entry = probe_data(line_addr)
-                    if entry is None or not entry.state.writable:
-                        break
-                    entry.state = MODIFIED
-                    entry.dirty = True
-                    n_data += 1
-                    n_write += 1
+                    if entry is not None:
+                        if not entry.state.writable:
+                            break  # upgrade through the home directory
+                        entry.state = MODIFIED
+                        entry.dirty = True
+                        n_data += 1
+                        n_write += 1
+                    else:
+                        if replica_service is None:
+                            break
+                        code = replica_record(core, line_addr, True, l1_data)
+                        if not code:
+                            break
+                        r_data += 1
+                        if code > SERVED:
+                            n_evict += 1
+                            if code == SERVED_EVICT_DIRTY:
+                                n_evict_dirty += 1
+                        latency = replica_latency
                 else:  # IFETCH (barriers never appear inside a run)
                     entry = probe_instr(line_addr)
-                    if entry is None:
-                        break
-                    n_instr += 1
+                    if entry is not None:
+                        n_instr += 1
+                    else:
+                        if replica_service is None:
+                            break
+                        code = replica_record(core, line_addr, False, l1_instr)
+                        if not code:
+                            break
+                        r_instr += 1
+                        if code > SERVED:
+                            n_evict += 1
+                            if code == SERVED_EVICT_DIRTY:
+                                n_evict_dirty += 1
+                        latency = replica_latency
                 gap = gaps[index]
                 index += 1
                 if charge_gaps and gap:
@@ -414,7 +641,7 @@ class ProtocolEngine:
                 # (issue = now + gap; now = issue + latency): float
                 # addition is not associative, so the grouping is part
                 # of the bit-identity contract.
-                now = now + gap + l1_latency
+                now = now + gap + latency
                 if now >= limit and (not strict or now > limit):
                     yielded = True
                     break
@@ -426,7 +653,10 @@ class ProtocolEngine:
                     if run_gaps:
                         latency_buckets[COMPUTE] += run_gaps
                 latency_buckets[L1_HIT_TIME] += hits * l1_latency
-                miss_status[L1_HIT] += hits
+                replicas = r_data + r_instr
+                l1_hits = hits - replicas
+                if l1_hits:
+                    miss_status[L1_HIT] += l1_hits
                 if n_data:
                     counters["l1d_hits"] += n_data
                     energy_counts[L1D_READ] += n_data
@@ -435,6 +665,24 @@ class ProtocolEngine:
                     energy_counts[L1I_READ] += n_instr
                 if n_write:
                     energy_counts[L1D_WRITE] += n_write
+                if replicas:
+                    miss_status[LLC_REPLICA_HIT] += replicas
+                    counters["llc_replica_hits"] += replicas
+                    latency_buckets[L1_TO_LLC_REPLICA] += replicas * probe_cost
+                    energy_counts[LLC_TAG_READ] += replicas
+                    energy_counts[LLC_DATA_READ] += replicas
+                    if r_data:
+                        counters["l1d_misses"] += r_data
+                        energy_counts[L1D_READ] += r_data
+                        energy_counts[L1D_WRITE] += r_data
+                    if r_instr:
+                        counters["l1i_misses"] += r_instr
+                        energy_counts[L1I_READ] += r_instr
+                        energy_counts[L1I_WRITE] += r_instr
+                    if n_evict:
+                        counters["l1_evictions"] += n_evict
+                        if n_evict_dirty:
+                            energy_counts[LLC_DATA_WRITE] += n_evict_dirty
             return index, now, yielded
 
         return run_hits

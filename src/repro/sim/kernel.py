@@ -22,16 +22,19 @@ and reschedules it.  Two interchangeable kernels implement that loop:
 * :class:`BatchedKernel` — the run-length hot path.  Where the fast
   kernel still pays per-record kernel overhead (a closure call plus a
   heap-front tuple comparison and several Counter updates per access),
-  the batched kernel hands whole *runs* of same-core L1 hits to the
-  engine's run-servicing closure
+  the batched kernel hands whole *runs* of same-core L1 hits — and,
+  for replicating schemes, constant-latency local-LLC-replica hits
+  (:meth:`~repro.schemes.base.ProtocolEngine._make_replica_service`) —
+  to the engine's run-servicing closure
   (:meth:`~repro.schemes.base.ProtocolEngine.make_batched_access`):
-  one call services every consecutive hit until the next miss, barrier
-  (:class:`DecodedTrace` ``run_stops``), or scheduling yield, and
-  flushes the run's statistics once (Compute charged from the decoded
-  ``gap_prefix`` numpy slice).  Misses go through the same specialized
-  fast-access path the fast kernel uses.  When the engine declines the
-  specialization (overridden hooks, TLA hints), the batched kernel
-  falls back to the fast loop wholesale.
+  one call services every consecutive hit until the next true miss,
+  upgrade, non-local victim disposal, barrier (:class:`DecodedTrace`
+  ``run_stops``), or scheduling yield, and flushes the run's statistics
+  once (Compute charged from the decoded ``gap_prefix`` numpy slice).
+  Misses go through the same specialized fast-access path the fast
+  kernel uses.  When the engine declines the specialization
+  (overridden hooks, TLA hints), the batched kernel falls back to the
+  fast loop wholesale.
 
 All kernels produce **identical** :class:`~repro.sim.stats.SimStats` —
 not merely statistically equivalent: the optimized kernels process
@@ -311,9 +314,15 @@ class BatchedKernel(FastKernel):
        tie-break collapses to one float ``limit`` plus a strictness bit
        instead of a tuple comparison per record;
     3. the engine's :meth:`make_batched_access` closure services every
-       consecutive L1 hit inside those bounds in one tight loop with a
-       single statistics flush per run (Compute charged from the numpy
-       ``gap_prefix`` slice when gaps are integral);
+       consecutive L1 hit — and, for replicating schemes, every
+       constant-latency local-replica hit, the paper's target regime —
+       inside those bounds in one tight loop with a single statistics
+       flush per run (Compute charged from the numpy ``gap_prefix``
+       slice when gaps are integral).  Replica-run boundaries are
+       dynamic, detected by the closure itself: a record whose service
+       would mutate replica or directory state non-locally (true miss,
+       write upgrade, a fill evicting an L1 victim with no local
+       replica to merge into) ends the run before any side effect;
     4. the record that ends the run — a miss — goes through the same
        specialized fast-access path the fast kernel uses, followed by
        the exact heap check the fast kernel would perform.
@@ -497,8 +506,17 @@ AUTO_KERNEL = "auto"
 AUTO_MIN_SEGMENT_LENGTH = 64.0
 AUTO_MIN_IMBALANCE = 1.10
 
+#: Relaxed segment threshold when the engine batches local-replica hits
+#: (``ProtocolEngine.supports_replica_batching``, i.e. VR / ASR / the
+#: locality-aware schemes on a stock machine).  Replica hits used to end
+#: every run, and each one batched saves a whole specialized miss-path
+#: dispatch instead of a single L1 probe — so much shorter runs already
+#: amortize the per-run flush, and replica-heavy workloads (the regime
+#: the paper optimizes) should reach the batched kernel sooner.
+AUTO_MIN_SEGMENT_LENGTH_REPLICA = 32.0
 
-def choose_kernel(traces: "TraceSet") -> str:
+
+def choose_kernel(traces: "TraceSet", engine: "ProtocolEngine | None" = None) -> str:
     """Pick ``fast`` vs ``batched`` from the trace's run-length structure.
 
     Probes the same barrier structure the batched kernel's ``run_stops``
@@ -508,18 +526,41 @@ def choose_kernel(traces: "TraceSet") -> str:
     same-core run *could* get, and the spread of per-core work (records
     plus compute cycles, a cycle-count proxy) measures whether a
     straggler core will ever be far enough behind the pack for batching
-    to engage.
+    to engage.  Cores with *empty* traces finish at time zero and never
+    enter the scheduler, so they are excluded from both probes (they
+    would deflate the mean segment length and distort the imbalance
+    ratio on partially-idle workloads).  A single *active* core skips
+    the imbalance test: it owns the scheduler outright, the batched
+    kernel's best case.
+
+    ``engine`` (optional — :func:`repro.sim.simulator.simulate` passes
+    it) adds a replica-friendliness signal: when the engine batches
+    local-replica hits, the segment threshold relaxes to
+    :data:`AUTO_MIN_SEGMENT_LENGTH_REPLICA` so VR/locality runs pick
+    ``batched`` sooner.
     """
-    decoded = traces.decoded()
+    decoded = [d for d in traces.decoded() if d.length]
     total_records = sum(d.length for d in decoded)
     if total_records == 0:
         return DEFAULT_KERNEL
     segments = sum(d.barrier_count + 1 for d in decoded)
     mean_segment = total_records / segments
+    min_segment = AUTO_MIN_SEGMENT_LENGTH
+    # getattr: engine stubs (tests) need not implement the probe.
+    supports = getattr(engine, "supports_replica_batching", None)
+    if supports is not None and supports():
+        min_segment = AUTO_MIN_SEGMENT_LENGTH_REPLICA
+    if mean_segment < min_segment:
+        return FastKernel.name
+    if len(decoded) == 1:
+        # A single active core owns the scheduler outright once the idle
+        # cores drain at time zero — the longest possible runs, with no
+        # imbalance to measure.
+        return BatchedKernel.name
     weights = [d.length + d.compute_cycles for d in decoded]
     mean_weight = sum(weights) / len(weights)
     imbalance = max(weights) / mean_weight if mean_weight else 1.0
-    if mean_segment >= AUTO_MIN_SEGMENT_LENGTH and imbalance >= AUTO_MIN_IMBALANCE:
+    if imbalance >= AUTO_MIN_IMBALANCE:
         return BatchedKernel.name
     return FastKernel.name
 
@@ -532,12 +573,14 @@ def kernel_names() -> Iterable[str]:
 def resolve_kernel(
     kernel: "str | SimulationKernel | type[SimulationKernel] | None",
     traces: "TraceSet | None" = None,
+    engine: "ProtocolEngine | None" = None,
 ) -> SimulationKernel:
     """Normalize a kernel selector (name, class, instance or None).
 
     ``None`` falls back to the ``REPRO_SIM_KERNEL`` environment variable,
     then to :data:`DEFAULT_KERNEL`.  ``"auto"`` requires ``traces`` (the
-    probe's input): :func:`repro.sim.simulator.simulate` passes them.
+    probe's input): :func:`repro.sim.simulator.simulate` passes them,
+    along with the ``engine`` for the replica-friendliness signal.
     """
     if kernel is None:
         import os
@@ -549,7 +592,7 @@ def resolve_kernel(
                 "kernel 'auto' needs the trace to probe; use "
                 "simulate(..., kernel='auto') or choose_kernel(traces)"
             )
-        kernel = choose_kernel(traces)
+        kernel = choose_kernel(traces, engine)
     if isinstance(kernel, SimulationKernel):
         return kernel
     if isinstance(kernel, type) and issubclass(kernel, SimulationKernel):

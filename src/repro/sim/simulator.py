@@ -62,7 +62,7 @@ def simulate(
             f"trace has {traces.num_cores} cores but machine has {config.num_cores}"
         )
     traces.validate_coverage()
-    resolve_kernel(kernel, traces).run(engine, traces)
+    resolve_kernel(kernel, traces, engine).run(engine, traces)
     engine.finalize()
     stats = engine.stats
     stats.completion_time = max(stats.core_finish) if stats.core_finish else 0.0

@@ -97,8 +97,62 @@ class FuzzCase:
         )
 
 
+def replica_heavy_profile(rng: random.Random, name: str) -> BenchmarkProfile:
+    """A randomized *replica-dominated* profile.
+
+    The regime the batched kernel's local-replica fast path targets (and
+    the paper's headline mechanism): high-reuse shared-read working sets
+    larger than the L1 but far smaller than the LLC, swept in long
+    low-gap loops, so VR/ASR/locality schemes service most L1 misses
+    from local replicas.  A slice of migratory and written-shared
+    traffic keeps locality classifiers moving through promotions and
+    demotions (and exercises writes through E/M replicas), so the fuzz
+    crosses every replica-run boundary event: true misses, upgrades,
+    invalidations, reuse saturation and classifier demotion.
+    """
+    f_ifetch = rng.choice((0.0, 0.05, 0.15))
+    f_migratory = rng.choice((0.0, 0.1, 0.2))
+    f_shared_rw = rng.choice((0.05, 0.15))
+    f_private = rng.choice((0.0, 0.1))
+    f_shared_ro = 1.0 - f_ifetch - f_migratory - f_shared_rw - f_private
+    return BenchmarkProfile(
+        name=name,
+        description="randomized replica-dominated differential-fuzz profile",
+        f_ifetch=f_ifetch,
+        f_private=f_private,
+        f_shared_ro=f_shared_ro,
+        f_shared_rw=f_shared_rw,
+        f_migratory=f_migratory,
+        private_pattern="loop",
+        shared_ro_pattern=rng.choice(("loop", "zipf")),
+        shared_rw_pattern="loop",
+        instr_ws_x_l1i=rng.choice((0.5, 2.0)),
+        private_ws_x_l1d=0.4,
+        # Shared-RO working set overflows the L1 (forcing LLC traffic)
+        # but sits well inside the LLC (so replicas survive and re-hit).
+        shared_ro_ws_x_l1d=rng.choice((1.5, 2.5, 4.0)),
+        shared_rw_ws_x_l1d=rng.choice((0.5, 1.5)),
+        migratory_window_x_l1d=0.5,
+        private_burst=rng.choice((4, 16)),
+        shared_rw_partitioned=False,
+        write_frac_rw=rng.choice((0.05, 0.3)),
+        zipf_skew=2.5,
+        false_sharing=rng.random() < 0.15,
+        mean_gap=rng.choice((0.0, 0.0, 1.0)),
+        accesses_per_core=rng.randrange(400, 1200),
+        barriers=rng.choice((0, 1, 3)),
+    )
+
+
 def random_profile(rng: random.Random, name: str) -> BenchmarkProfile:
-    """A valid random :class:`BenchmarkProfile` spanning regime space."""
+    """A valid random :class:`BenchmarkProfile` spanning regime space.
+
+    Roughly a third of the cases draw from the replica-dominated
+    sub-generator (:func:`replica_heavy_profile`), keeping the nightly
+    fuzz pointed at the local-replica batching fast path.
+    """
+    if rng.random() < 0.35:
+        return replica_heavy_profile(rng, name)
     f_ifetch = rng.choice((0.0, 0.02, 0.1, 0.2))
     f_migratory = rng.choice((0.0, 0.0, 0.0, 0.3, 0.5))
     weights = [rng.random() + 0.05 for _ in range(3)]

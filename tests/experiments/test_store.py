@@ -112,7 +112,7 @@ class TestEnvironmentControls:
         store = ResultStore.from_env()
         assert store.root == tmp_path / "here"
 
-    @pytest.mark.parametrize("value", ["", "0", "off", "none", "OFF"])
+    @pytest.mark.parametrize("value", ["0", "off", "none", "OFF", "false"])
     def test_env_disables_disk(self, value, monkeypatch):
         monkeypatch.setenv(CACHE_ENV_VAR, value)
         assert ResultStore.from_env().root is None
@@ -120,6 +120,106 @@ class TestEnvironmentControls:
     def test_default_location_used_when_unset(self, monkeypatch):
         monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
         assert ResultStore.from_env().root == default_cache_dir()
+
+    @pytest.mark.parametrize("value", ["", "   ", "\t"])
+    def test_empty_value_falls_back_to_default(self, value, monkeypatch):
+        """An empty/whitespace value is treated as unset (it used to
+        disable persistence): ``REPRO_RESULT_CACHE= cmd`` and unset-var
+        interpolation mean "no opinion", and it must in particular never
+        resolve to Path("") — the current working directory."""
+        monkeypatch.setenv(CACHE_ENV_VAR, value)
+        store = ResultStore.from_env()
+        assert store.root == default_cache_dir()
+        assert str(store.root) != "."
+
+    def test_surrounding_whitespace_is_stripped_from_paths(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(CACHE_ENV_VAR, f"  {tmp_path / 'padded'}  ")
+        assert ResultStore.from_env().root == tmp_path / "padded"
+
+
+class TestConcurrentWriters:
+    """Regression: the fixed ``<key>.json.tmp`` temp name let two
+    ``--parallel`` invocations sharing one cache directory interleave
+    writes and ``os.replace`` a torn payload."""
+
+    def test_tmp_names_are_unique_per_writer_and_write(self, tmp_path):
+        first = ResultStore(tmp_path)
+        second = ResultStore(tmp_path)
+        names = {
+            first._tmp_path_for("cafe"),
+            first._tmp_path_for("cafe"),
+            second._tmp_path_for("cafe"),
+        }
+        assert len(names) == 3
+        for name in names:
+            assert name.name.startswith("cafe.json.")
+            assert name.suffix == ".tmp"
+
+    def test_interleaved_writers_never_tear_the_payload(
+        self, tmp_path, result, monkeypatch
+    ):
+        """Serialize the historical failure: writer B re-creates (truncates)
+        the temp file after writer A has written it but before A's rename.
+        With per-writer temp names the schedule is harmless."""
+        import repro.experiments.store as store_module
+
+        writer_a = ResultStore(tmp_path)
+        writer_b = ResultStore(tmp_path)
+        real_replace = store_module.os.replace
+        replaced = []
+
+        def delayed_replace(src, dst):
+            # A's rename runs only after B's full write+rename completed.
+            if not replaced:
+                replaced.append(src)
+                writer_b.put("cafe", result)
+            real_replace(src, dst)
+
+        monkeypatch.setattr(store_module.os, "replace", delayed_replace)
+        writer_a.put("cafe", result)
+        payload = json.loads((tmp_path / "cafe.json").read_text(encoding="utf-8"))
+        assert payload["scheme"] == result.scheme  # parseable, not torn
+        fresh = ResultStore(tmp_path)
+        assert fresh.get("cafe") is not None
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_stale_tmp_litter_is_swept_on_open(self, tmp_path, result):
+        import subprocess
+
+        store = ResultStore(tmp_path)
+        store.put("cafe", result)
+        # A reaped child's pid is a guaranteed-dead writer stamp.
+        child = subprocess.Popen(["true"])
+        child.wait()
+        (tmp_path / "dead.json.tmp").write_text("{torn", encoding="utf-8")
+        (tmp_path / f"beef.json.{child.pid}.3.tmp").write_text(
+            "{torn", encoding="utf-8"
+        )
+        # Foreign files in a shared directory are not the store's to sweep.
+        (tmp_path / "notes.tmp").write_text("keep me", encoding="utf-8")
+        reopened = ResultStore(tmp_path)
+        assert list(tmp_path.glob("*.json.tmp")) == []
+        assert list(tmp_path.glob("*.json.*.tmp")) == []
+        assert (tmp_path / "notes.tmp").read_text(encoding="utf-8") == "keep me"
+        # Real payloads survive the sweep.
+        assert reopened.get("cafe") is not None
+
+    def test_sweep_spares_in_flight_files_of_live_writers(self, tmp_path):
+        """A concurrent invocation's pid-stamped temp file is an
+        in-flight write, not litter — sweeping it would silently drop
+        that writer's persistence (its os.replace fails)."""
+        import os
+
+        in_flight = tmp_path / f"cafe.json.{os.getpid()}.7.tmp"
+        in_flight.write_text("{partial", encoding="utf-8")
+        ResultStore(tmp_path)
+        assert in_flight.exists()
+
+    def test_open_on_missing_directory_is_harmless(self, tmp_path):
+        store = ResultStore(tmp_path / "not-yet-created")
+        assert store.get("cafe") is None
 
 
 class TestInvalidation:

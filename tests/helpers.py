@@ -29,10 +29,15 @@ class FixedLatencyEngine:
     kernel's run boundaries are testable in isolation: every record is a
     "hit" at the fixed latency except lines in ``batch_miss_lines``,
     which the closure refuses so the kernel must single-step them through
-    :meth:`access`.  Closure-serviced records land in the same ``calls``
-    list with the same issue timestamps, so a divergence from the
-    reference kernel pinpoints a run that crossed a boundary it must not
-    cross (barrier, scheduling yield, or a non-batchable record).
+    :meth:`access`.  Lines in ``replica_lines`` model constant-latency
+    local-replica hits: both entry points service them at
+    ``replica_latency`` with ``LLC_REPLICA_HIT`` status, mirroring the
+    replica fast path's two-latency runs (and its flush split between
+    L1-hit and replica-hit statuses).  Closure-serviced records land in
+    the same ``calls`` list with the same issue timestamps, so a
+    divergence from the reference kernel pinpoints a run that crossed a
+    boundary it must not cross (barrier, scheduling yield, or a
+    non-batchable record).
     """
 
     def __init__(
@@ -40,15 +45,24 @@ class FixedLatencyEngine:
         num_cores: int,
         latency: float = 5.0,
         batch_miss_lines: frozenset[int] = frozenset(),
+        replica_lines: frozenset[int] = frozenset(),
+        replica_latency: float | None = None,
     ) -> None:
         self.config = types.SimpleNamespace(num_cores=num_cores, l1_latency=latency)
         self.stats = SimStats(num_cores)
         self.latency = latency
         self.batch_miss_lines = batch_miss_lines
+        self.replica_lines = replica_lines
+        self.replica_latency = (
+            replica_latency if replica_latency is not None else 3.0 * latency
+        )
         self.calls: list[tuple[int, int, int, float]] = []
 
     def access(self, core: int, atype: AccessType, line_addr: int, now: float) -> AccessResult:
         self.calls.append((core, int(atype), line_addr, now))
+        if line_addr in self.replica_lines and line_addr not in self.batch_miss_lines:
+            self.stats.record_miss(MissStatus.LLC_REPLICA_HIT)
+            return AccessResult(self.replica_latency, MissStatus.LLC_REPLICA_HIT)
         self.stats.record_miss(MissStatus.L1_HIT)
         return AccessResult(self.latency, MissStatus.L1_HIT)
 
@@ -56,23 +70,32 @@ class FixedLatencyEngine:
         from repro.sim import stats as stat_names
 
         latency = self.latency
+        replica_latency = self.replica_latency
         miss_lines = self.batch_miss_lines
+        replica_lines = self.replica_lines
         calls = self.calls
         miss_status = self.stats.miss_status
         latency_buckets = self.stats.latency
         COMPUTE = stat_names.COMPUTE
         L1_HIT = MissStatus.L1_HIT
+        LLC_REPLICA_HIT = MissStatus.LLC_REPLICA_HIT
 
         def run_hits(core, decoded, index, stop, now, limit, strict):
             atypes = decoded.atypes
             lines = decoded.lines
             gaps = decoded.gaps
             start = index
+            replicas = 0
             yielded = False
             while index < stop:
                 line_addr = lines[index]
                 if line_addr in miss_lines:
                     break
+                if line_addr in replica_lines:
+                    record_latency = replica_latency
+                    replicas += 1
+                else:
+                    record_latency = latency
                 atype = atypes[index]
                 gap = gaps[index]
                 index += 1
@@ -80,7 +103,7 @@ class FixedLatencyEngine:
                     latency_buckets[COMPUTE] += gap
                 issue_time = now + gap
                 calls.append((core, int(atype), line_addr, issue_time))
-                now = issue_time + latency
+                now = issue_time + record_latency
                 if now >= limit and (not strict or now > limit):
                     yielded = True
                     break
@@ -91,7 +114,10 @@ class FixedLatencyEngine:
                     run_gaps = float(gap_prefix[index] - gap_prefix[start])
                     if run_gaps:
                         latency_buckets[COMPUTE] += run_gaps
-                miss_status[L1_HIT] += hits
+                if hits - replicas:
+                    miss_status[L1_HIT] += hits - replicas
+                if replicas:
+                    miss_status[LLC_REPLICA_HIT] += replicas
             return index, now, yielded
 
         return run_hits

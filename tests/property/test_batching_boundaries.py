@@ -132,6 +132,96 @@ class TestBatchingBoundaries:
             == engines["batched"].stats.core_finish
         )
 
+    @given(
+        per_core_gaps=st.lists(_gap_lists, min_size=NUM_CORES, max_size=NUM_CORES),
+        replica_modulus=st.integers(min_value=2, max_value=5),
+        latency=st.integers(min_value=1, max_value=9),
+        replica_latency=st.integers(min_value=2, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_replica_hits_batch_at_their_own_latency(
+        self, per_core_gaps, replica_modulus, latency, replica_latency
+    ):
+        """Runs mixing L1 hits and constant-latency replica hits (stub:
+        every line ≡ 0 mod ``replica_modulus``) must dispatch the exact
+        reference event sequence: replica records advance the clock by
+        their own latency inside the run, the flush splits hit statuses,
+        and scheduling yields land on the same records."""
+        per_core = [
+            _records(gaps, base_line=100 * core)
+            for core, gaps in enumerate(per_core_gaps)
+        ]
+        traces = records_trace_set(per_core)
+        replica_lines = frozenset(
+            line
+            for records in per_core
+            for _atype, line, _gap in records
+            if line % replica_modulus == 0
+        )
+        engines = {}
+        for kernel in ("reference", "batched"):
+            engine = FixedLatencyEngine(
+                NUM_CORES,
+                latency=float(latency),
+                replica_lines=replica_lines,
+                replica_latency=float(replica_latency),
+            )
+            simulate(engine, traces, kernel=kernel)
+            engines[kernel] = engine
+        assert engines["reference"].calls == engines["batched"].calls
+        assert (
+            engines["reference"].stats.core_finish
+            == engines["batched"].stats.core_finish
+        )
+        assert engines["reference"].stats.latency == engines["batched"].stats.latency
+        assert (
+            engines["reference"].stats.miss_status
+            == engines["batched"].stats.miss_status
+        )
+
+    @given(
+        per_core_gaps=st.lists(_gap_lists, min_size=NUM_CORES, max_size=NUM_CORES),
+        replica_modulus=st.integers(min_value=2, max_value=4),
+        miss_modulus=st.integers(min_value=3, max_value=5),
+        latency=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_replica_runs_still_stop_at_non_batchable_records(
+        self, per_core_gaps, replica_modulus, miss_modulus, latency
+    ):
+        """Replica-run boundary events: records the engine refuses (the
+        stub's miss lines — misses, upgrades, any replica-state mutation
+        in the real engine) end the run exactly there even when the
+        surrounding records are replica hits; the refused record
+        single-steps through access() at the reference timestamp."""
+        per_core = [
+            _records(gaps, base_line=100 * core)
+            for core, gaps in enumerate(per_core_gaps)
+        ]
+        traces = records_trace_set(per_core)
+        all_lines = [
+            line for records in per_core for _atype, line, _gap in records
+        ]
+        replica_lines = frozenset(
+            line for line in all_lines if line % replica_modulus == 0
+        )
+        miss_lines = frozenset(line for line in all_lines if line % miss_modulus == 0)
+        engines = {}
+        for kernel in ("reference", "batched"):
+            engine = FixedLatencyEngine(
+                NUM_CORES,
+                latency=float(latency),
+                batch_miss_lines=miss_lines,
+                replica_lines=replica_lines,
+            )
+            simulate(engine, traces, kernel=kernel)
+            engines[kernel] = engine
+        assert engines["reference"].calls == engines["batched"].calls
+        assert (
+            engines["reference"].stats.miss_status
+            == engines["batched"].stats.miss_status
+        )
+
     def test_batched_kernel_actually_batches_on_the_stub(self):
         """Meta-test: the stub engages the batched closure (the kernel
         must not silently fall back to the fast loop), observed via the

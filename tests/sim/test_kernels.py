@@ -383,6 +383,77 @@ class TestAutoKernelSelection:
         traces = self._trace_set([0, 0, 0, 0])
         assert choose_kernel(traces) == DEFAULT_KERNEL
 
+    def test_idle_cores_do_not_deflate_the_segment_probe(self):
+        """Regression: empty traces used to contribute a phantom segment
+        each, halving the measured mean segment length on half-idle
+        workloads."""
+        from repro.sim.kernel import choose_kernel
+
+        # Two active cores (mean segment 65), two idle cores whose
+        # phantom segments would read the mean as 32.5 < 64.
+        traces = self._trace_set([100, 30, 0, 0])
+        assert choose_kernel(traces) == "batched"
+
+    def test_idle_cores_do_not_inflate_the_imbalance_probe(self):
+        """Regression: zero-weight entries for idle cores deflated the
+        mean load, making *lockstep* active cores look imbalanced."""
+        from repro.sim.kernel import choose_kernel
+
+        traces = self._trace_set([1000, 1000, 1000, 0])
+        assert choose_kernel(traces) == "fast"
+
+    def test_single_active_core_picks_batched(self):
+        """A lone active core owns the scheduler — no imbalance needed."""
+        from repro.sim.kernel import choose_kernel
+
+        assert choose_kernel(self._trace_set([4000, 0, 0, 0])) == "batched"
+
+    def test_replica_capable_engine_relaxes_the_segment_threshold(self):
+        """Engines that batch local-replica hits (VR/ASR/locality) pick
+        ``batched`` at shorter barrier segments than non-replicating
+        engines — the replica-friendliness signal."""
+        from repro.common.params import MachineConfig
+        from repro.sim.kernel import (
+            AUTO_MIN_SEGMENT_LENGTH,
+            AUTO_MIN_SEGMENT_LENGTH_REPLICA,
+            choose_kernel,
+        )
+
+        assert AUTO_MIN_SEGMENT_LENGTH_REPLICA < AUTO_MIN_SEGMENT_LENGTH
+        config = MachineConfig.small()
+        # Mean segment ~40: between the replica threshold (32) and the
+        # plain threshold (64); imbalanced so only the segment probe
+        # decides.
+        traces = self._trace_set(
+            [4000] + [500] * (config.num_cores - 1), barriers=17
+        )
+        assert choose_kernel(traces) == "fast"
+        for scheme in ("RT-1", "RT-3"):
+            engine = make_scheme(scheme, config)
+            assert engine.supports_replica_batching()
+            assert choose_kernel(traces, engine) == "batched", scheme
+        # VR and ASR override the eviction hooks, so their replica hits
+        # batch only while L1 sets have room — not a sustained win, and
+        # not a reason to relax the threshold.
+        for scheme in ("S-NUCA", "R-NUCA", "VR", "ASR"):
+            engine = make_scheme(scheme, config)
+            assert not engine.supports_replica_batching()
+            assert choose_kernel(traces, engine) == "fast", scheme
+
+    def test_observer_disables_the_replica_signal(self):
+        from repro.common.params import MachineConfig
+        from repro.schemes.base import ProtocolObserver
+
+        config = MachineConfig.small()
+        engine = make_scheme("RT-3", config, observer=ProtocolObserver())
+        assert not engine.supports_replica_batching()
+
+    def test_cluster_replication_disables_the_replica_signal(self):
+        from repro.common.params import MachineConfig
+
+        config = MachineConfig.small().with_overrides(cluster_size=4)
+        assert not make_scheme("RT-3", config).supports_replica_batching()
+
     def test_resolve_kernel_rejects_auto_without_traces(self):
         from repro.sim.kernel import AUTO_KERNEL
 

@@ -35,7 +35,7 @@ from repro.testing.differential import (
     verify_kernels,
     verify_matrix,
 )
-from repro.workloads.benchmarks import build_trace, get_profile
+from repro.workloads.benchmarks import BenchmarkProfile, build_trace, get_profile
 
 #: The five evaluated schemes (ASR at its default replication level).
 SCHEMES = ("S-NUCA", "R-NUCA", "VR", "ASR", "RT-3")
@@ -51,6 +51,30 @@ WORKLOADS = (
     ("DEDUP", 0.10, 37),
 )
 
+#: A fixed replica-dominated profile: high-reuse shared reads over a
+#: working set between the L1 and the LLC, with enough written-shared
+#: and migratory traffic to cycle locality classifiers through
+#: promotions and demotions.  The regime of the batched kernel's
+#: local-replica fast path (and the paper's headline mechanism).
+REPLICA_PROFILE = BenchmarkProfile(
+    name="REPLICA-LOOP",
+    description="replica-dominated shared-read loop for the differential suite",
+    f_ifetch=0.08,
+    f_private=0.07,
+    f_shared_ro=0.60,
+    f_shared_rw=0.15,
+    f_migratory=0.10,
+    shared_ro_ws_x_l1d=2.5,
+    shared_rw_ws_x_l1d=1.0,
+    migratory_window_x_l1d=0.5,
+    private_ws_x_l1d=0.4,
+    private_burst=8,
+    write_frac_rw=0.15,
+    mean_gap=0.0,
+    accesses_per_core=1500,
+    barriers=1,
+)
+
 
 @pytest.fixture(scope="module")
 def config() -> MachineConfig:
@@ -59,15 +83,19 @@ def config() -> MachineConfig:
 
 @pytest.fixture(scope="module")
 def trace_sets(config):
-    return {
+    sets = {
         name: build_trace(get_profile(name), config, scale=scale, seed=seed)
         for name, scale, seed in WORKLOADS
     }
+    sets["REPLICA-LOOP"] = build_trace(REPLICA_PROFILE, config, scale=1.0, seed=53)
+    return sets
 
 
 class TestKernelEquivalence:
     @pytest.mark.parametrize("candidate", CANDIDATE_KERNELS)
-    @pytest.mark.parametrize("workload", [name for name, _s, _e in WORKLOADS])
+    @pytest.mark.parametrize(
+        "workload", [name for name, _s, _e in WORKLOADS] + ["REPLICA-LOOP"]
+    )
     @pytest.mark.parametrize("scheme", SCHEMES)
     def test_identical_stats(self, config, trace_sets, scheme, workload, candidate):
         stats = verify_kernels(
