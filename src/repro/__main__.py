@@ -1,0 +1,229 @@
+"""Top-level command-line entry point.
+
+Usage::
+
+    python -m repro trace import CAPTURE --out TRACE.npz [options]
+    python -m repro trace inspect TRACE.npz
+    python -m repro trace synthesize-fixture --format FMT --out CAPTURE [options]
+    python -m repro experiments ...     (forwarded to repro.experiments)
+    python -m repro testing ...         (forwarded to repro.testing)
+
+The ``trace`` group is the real-trace ingestion pipeline
+(:mod:`repro.workloads.imports`):
+
+``import``
+    Convert an external capture — ChampSim-style text, din-style text,
+    or the CSV interchange format, optionally gzipped — into a
+    first-class ``.npz`` trace archive with inferred data-class regions
+    and provenance metadata.  The result runs anywhere a catalog
+    benchmark does: ``python -m repro.experiments fig6 --benchmarks
+    imported:TRACE.npz``.
+
+``inspect``
+    Print an archive's shape: cores, record/barrier counts, the
+    inferred region map per data class, and provenance.
+
+``synthesize-fixture``
+    Generate a small synthetic capture *in an external format* — the
+    fixture generator behind the ``trace-conformance`` CI job and a
+    quick way to try the importer without a real capture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.common.params import MachineConfig
+from repro.common.types import LineClass
+from repro.workloads.benchmarks import BenchmarkProfile, build_trace
+from repro.workloads.imports import (
+    FORMATS,
+    SPLITS,
+    ImportOptions,
+    export_champsim,
+    export_csv,
+    export_din,
+    import_trace,
+)
+from repro.workloads.io import load_trace_set, save_trace_set
+
+#: Core counts the fixture generator supports, mapped to a machine whose
+#: geometry scales the synthetic working sets (num_cores must match a
+#: valid mesh, so arbitrary counts are not constructible).
+FIXTURE_MACHINES = {
+    1: lambda: MachineConfig.tiny(num_cores=1, num_mem_controllers=1),
+    4: MachineConfig.tiny,
+    16: MachineConfig.small,
+    64: MachineConfig.paper,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="repro command-line interface.",
+    )
+    groups = parser.add_subparsers(dest="group", required=True)
+
+    trace = groups.add_parser("trace", help="real-trace ingestion pipeline")
+    commands = trace.add_subparsers(dest="command", required=True)
+
+    imp = commands.add_parser(
+        "import", help="convert an external capture into a .npz trace archive"
+    )
+    imp.add_argument("capture", type=Path, help="capture file (may be .gz)")
+    imp.add_argument("--out", "-o", type=Path, required=True,
+                     help="output .npz trace archive")
+    imp.add_argument("--format", choices=(*FORMATS, "auto"), default="auto",
+                     help="capture format (default: auto-detect by "
+                          "extension, then content)")
+    imp.add_argument("--cores", type=int, default=None, metavar="N",
+                     help="number of cores (champsim/din: split target, "
+                          "default 1; csv: validates record core ids, "
+                          "default inferred as max id + 1)")
+    imp.add_argument("--split", choices=SPLITS, default="round-robin",
+                     help="single-stream record distribution: round-robin "
+                          "(record i -> core i mod N) or blocks (N "
+                          "contiguous chunks); csv carries explicit core "
+                          "ids and ignores this")
+    imp.add_argument("--line-bytes", type=int, default=64,
+                     help="cache-line size for byte->line address "
+                          "conversion in champsim/din captures (default 64)")
+    imp.add_argument("--name", type=str, default=None,
+                     help="trace-set name (default: capture file stem)")
+
+    inspect = commands.add_parser(
+        "inspect", help="summarize a .npz trace archive"
+    )
+    inspect.add_argument("archive", type=Path)
+
+    synth = commands.add_parser(
+        "synthesize-fixture",
+        help="generate a small synthetic capture in an external format",
+    )
+    synth.add_argument("--format", choices=FORMATS, required=True)
+    synth.add_argument("--out", "-o", type=Path, required=True)
+    synth.add_argument("--cores", type=int, default=4,
+                       choices=sorted(FIXTURE_MACHINES),
+                       help="cores in the synthesized capture (default 4)")
+    synth.add_argument("--records", type=int, default=200,
+                       help="accesses per core (default 200)")
+    synth.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    options = ImportOptions(
+        num_cores=args.cores,
+        split=args.split,
+        line_bytes=args.line_bytes,
+        name=args.name,
+    )
+    traces = import_trace(args.capture, fmt=args.format, options=options)
+    out = save_trace_set(traces, args.out)
+    provenance = traces.provenance or {}
+    print(
+        f"imported {args.capture} ({provenance.get('format', '?')}) -> {out}: "
+        f"{traces.num_cores} cores, {provenance.get('records', 0)} records, "
+        f"{provenance.get('barriers', 0)} barriers, "
+        f"{len(traces.regions)} inferred regions"
+    )
+    print(f"run it with: python -m repro.experiments fig6 --benchmarks imported:{out}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    traces = load_trace_set(args.archive)
+    lengths = [len(trace) for trace in traces.cores]
+    print(f"name:     {traces.name}")
+    print(f"cores:    {traces.num_cores}")
+    print(
+        f"records:  {sum(lengths)} total "
+        f"(per core min {min(lengths)}, max {max(lengths)})"
+    )
+    print(f"barriers: {traces.cores[0].barrier_count()} per core")
+    by_class: dict[LineClass, list[int]] = {}
+    for region, line_class in traces.regions:
+        by_class.setdefault(line_class, []).append(region.size)
+    print(f"regions:  {len(traces.regions)} "
+          f"({traces.footprint_lines()} lines mapped)")
+    for line_class in LineClass:
+        sizes = by_class.get(line_class)
+        if sizes:
+            print(f"  {line_class.label:17s} {len(sizes):4d} regions, "
+                  f"{sum(sizes)} lines")
+    if traces.provenance:
+        print("provenance:")
+        for key, value in sorted(traces.provenance.items()):
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _fixture_profile(fmt: str, records: int) -> BenchmarkProfile:
+    """A small mixed-class profile expressible in the target format.
+
+    The single-stream text formats carry neither barriers nor compute
+    gaps (and champsim cannot encode instruction fetches), so those
+    features are zeroed to keep the synthesized capture exactly
+    re-importable; the CSV interchange format carries everything.
+    """
+    f_ifetch = 0.0 if fmt == "champsim" else 0.05
+    return BenchmarkProfile(
+        name=f"FIXTURE-{fmt.upper()}",
+        description=f"synthesized {fmt} conformance fixture",
+        f_ifetch=f_ifetch,
+        f_private=0.50 - f_ifetch,
+        f_shared_ro=0.25,
+        f_shared_rw=0.25,
+        shared_ro_ws_x_l1d=2.0,
+        shared_rw_ws_x_l1d=2.0,
+        write_frac_rw=0.2,
+        mean_gap=2.0 if fmt == "csv" else 0.0,
+        barriers=2 if fmt == "csv" else 0,
+        accesses_per_core=records,
+    )
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    config = FIXTURE_MACHINES[args.cores]()
+    traces = build_trace(
+        _fixture_profile(args.format, args.records), config, seed=args.seed
+    )
+    if args.format == "csv":
+        out = export_csv(traces, args.out)
+    elif args.format == "din":
+        out = export_din(traces, args.out)
+    else:
+        out = export_champsim(traces, args.out)
+    total = sum(len(trace) for trace in traces.cores)
+    print(f"synthesized {args.format} fixture -> {out}: "
+          f"{traces.num_cores} cores, {total} records")
+    print(f"import it with: python -m repro trace import {out} "
+          f"--cores {traces.num_cores} --out {out}.npz")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Forward the sibling CLIs so `python -m repro <group>` covers the
+    # whole toolbox; their parsers own everything after the group name.
+    if argv and argv[0] == "experiments":
+        from repro.experiments.__main__ import main as experiments_main
+
+        return experiments_main(argv[1:])
+    if argv and argv[0] == "testing":
+        from repro.testing.__main__ import main as testing_main
+
+        return testing_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    if args.command == "import":
+        return _cmd_import(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    return _cmd_synthesize(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,8 @@ from repro.schemes.factory import make_scheme
 from repro.sim.simulator import simulate
 from repro.sim.stats import SimStats
 from repro.workloads.benchmarks import BENCHMARK_ORDER, build_trace, get_profile
+from repro.workloads.imports import imported_trace_path, is_imported_benchmark
+from repro.workloads.io import load_trace_set
 from repro.workloads.trace import TraceSet
 
 
@@ -62,9 +64,22 @@ class ExperimentSetup:
         self._trace_cache: dict[str, TraceSet] = {}
 
     def trace_for(self, benchmark: str) -> TraceSet:
+        """The benchmark's trace set (memoized per setup).
+
+        Catalog names build a synthetic trace from the profile; an
+        ``imported:<path>`` name loads the ``.npz`` archive at that path
+        instead (the setup's ``scale``/``seed`` do not apply — an
+        imported capture is fixed data).  The simulator still checks
+        that the trace's core count matches this setup's machine.
+        """
         trace = self._trace_cache.get(benchmark)
         if trace is None:
-            trace = build_trace(get_profile(benchmark), self.config, self.scale, self.seed)
+            if is_imported_benchmark(benchmark):
+                trace = load_trace_set(imported_trace_path(benchmark))
+            else:
+                trace = build_trace(
+                    get_profile(benchmark), self.config, self.scale, self.seed
+                )
             self._trace_cache[benchmark] = trace
         return trace
 

@@ -38,6 +38,12 @@ from repro.experiments.results import ResultSet
 from repro.experiments.runner import ExperimentSetup, RunResult, run_one
 from repro.experiments.store import ResultStore
 from repro.workloads.benchmarks import BENCHMARKS, BENCHMARK_ORDER
+from repro.workloads.imports import (
+    IMPORTED_PREFIX,
+    imported_trace_path,
+    is_imported_benchmark,
+    trace_content_hash,
+)
 
 
 def _freeze(pairs) -> tuple:
@@ -106,6 +112,17 @@ class RunPoint:
             "scale": self.scale if self.scale is not None else setup.scale,
             "seed": self.seed if self.seed is not None else setup.seed,
         }
+        if is_imported_benchmark(self.benchmark):
+            # Imported traces are addressed by file *content*, not path:
+            # moving the .npz keeps its stored results valid, rewriting
+            # it invalidates them.  Scale/seed shape only synthetic
+            # generation, so they are pinned out of the address.
+            path = imported_trace_path(self.benchmark)
+            payload["benchmark"] = (
+                f"{IMPORTED_PREFIX}sha256:{trace_content_hash(path)}"
+            )
+            payload["scale"] = None
+            payload["seed"] = None
         if self.scheme == "ASR" and "replication_level" not in dict(self.scheme_kwargs):
             payload["asr_levels"] = list(setup.asr_levels)
         return payload
@@ -138,13 +155,30 @@ class ExperimentSpec:
 
 
 def validate_benchmarks(names: Iterable[str]) -> list[str]:
-    """Validate benchmark names up front, with the valid list on error."""
+    """Validate benchmark names up front, with the valid list on error.
+
+    Besides the catalog names, ``imported:<path>`` names are accepted
+    when the ``.npz`` trace archive behind them exists (see
+    :mod:`repro.workloads.imports` and ``python -m repro trace import``).
+    """
     names = list(names)
-    unknown = [name for name in names if name not in BENCHMARKS]
+    unknown = []
+    for name in names:
+        if is_imported_benchmark(name):
+            path = imported_trace_path(name)  # raises on an empty path
+            if not path.is_file():
+                raise ValueError(
+                    f"imported trace archive {str(path)!r} does not exist "
+                    f"(benchmark {name!r}); create it with "
+                    f"'python -m repro trace import'"
+                )
+        elif name not in BENCHMARKS:
+            unknown.append(name)
     if unknown:
         raise ValueError(
             f"unknown benchmark(s) {', '.join(map(repr, unknown))}; "
-            f"valid names: {', '.join(BENCHMARK_ORDER)}"
+            f"valid names: {', '.join(BENCHMARK_ORDER)}, "
+            f"or {IMPORTED_PREFIX}<path-to-npz>"
         )
     return names
 

@@ -69,6 +69,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for failure repro bundles")
     verify.add_argument("--repro", type=Path, default=None, metavar="BUNDLE",
                         help="replay one failure bundle JSON and exit")
+    roundtrip = sub.add_parser(
+        "csv-roundtrip",
+        aliases=["csv_roundtrip"],
+        help="fuzz randomized TraceSets through the CSV interchange "
+             "format and assert exact reconstruction",
+    )
+    roundtrip.add_argument("--cases", type=int, default=10, metavar="N",
+                           help="number of randomized trace sets (default 10)")
+    roundtrip.add_argument("--seed", type=int, default=1)
+    roundtrip.add_argument("--machine", choices=("tiny", "small"),
+                           default="tiny")
+    roundtrip.add_argument("--workdir", type=Path,
+                           default=Path("csv-roundtrip-fuzz"),
+                           help="directory for the intermediate .csv.gz files")
+    # Dispatch lives next to the declaration, so aliases can never
+    # drift out of sync with main()'s routing.
+    roundtrip.set_defaults(handler=_run_csv_roundtrip)
     return parser
 
 
@@ -144,8 +161,20 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_csv_roundtrip(args: argparse.Namespace) -> int:
+    failures = fuzz.run_csv_roundtrip_fuzz(
+        args.cases, args.seed, args.workdir, machine=args.machine, log=print
+    )
+    print(f"csv-roundtrip: {args.cases - len(failures)} exact, "
+          f"{len(failures)} diverged")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    handler = getattr(args, "handler", None)
+    if handler is not None:
+        return handler(args)
     if args.repro is not None:
         return _run_repro(args)
     if args.fuzz > 0:

@@ -284,6 +284,79 @@ def write_bundle(case: FuzzCase, error: DifferentialMismatch, out_dir: Path) -> 
     return target
 
 
+def csv_roundtrip_case(case: FuzzCase, workdir: Path) -> Path:
+    """Round-trip one case's synthetic TraceSet through the CSV
+    interchange format (:mod:`repro.workloads.imports`) and assert the
+    per-core arrays survive exactly.
+
+    The fuzzed profile space (mixes, patterns, pressures, barriers,
+    bursts) stresses the exporter/importer far beyond the fixture
+    captures: every record's (type, line, gap) must reconstruct
+    bit-for-bit from the ``core,tick,type,line`` text encoding, and the
+    re-imported set's *inferred* region map must still cover every
+    access (``validate_coverage``).  Gaps stay integral on purpose —
+    ticks are integer cumulative gaps, so fractional-gap traces are not
+    CSV-representable (the bundled ``.npz`` format carries those).
+
+    Returns the intermediate capture's path (so the caller owns its
+    cleanup); raises ``AssertionError`` (or the importer's
+    ``TraceImportError``) on any divergence.
+    """
+    from repro.workloads.imports import export_csv, import_trace
+
+    traces = build_trace(case.profile, case.config(), scale=1.0,
+                         seed=case.trace_seed)
+    path = export_csv(traces, workdir / f"case-{case.case_seed}.csv.gz")
+    back = import_trace(path, fmt="csv")
+    assert back.num_cores == traces.num_cores, (
+        f"core count changed: {traces.num_cores} -> {back.num_cores}"
+    )
+    for core, (original, restored) in enumerate(zip(traces.cores, back.cores)):
+        for field in ("types", "lines", "gaps"):
+            a = getattr(original, field)
+            b = getattr(restored, field)
+            assert np.array_equal(a, b), (
+                f"core {core} {field} diverged after CSV round-trip "
+                f"({case.describe()})"
+            )
+    back.validate_coverage()
+    return path
+
+
+def run_csv_roundtrip_fuzz(
+    count: int,
+    seed: int,
+    workdir: Path,
+    machine: str = "tiny",
+    log=None,
+) -> list[str]:
+    """Round-trip ``count`` randomized TraceSets through CSV; returns
+    the failure descriptions (empty = all exact).
+
+    A passing case's intermediate ``.csv.gz`` is deleted; a failing
+    case's is kept in ``workdir`` next to a ``case-<seed>.error`` note,
+    so the nightly job can upload exactly the diverging captures as
+    repro artifacts (the case itself also replays from its seed alone).
+    """
+    failures: list[str] = []
+    workdir.mkdir(parents=True, exist_ok=True)
+    for case in iter_cases(count, seed, machine=machine):
+        try:
+            capture = csv_roundtrip_case(case, workdir)
+        except (AssertionError, ValueError) as error:
+            failures.append(f"{case.describe()}: {error}")
+            (workdir / f"case-{case.case_seed}.error").write_text(
+                f"{case.describe()}\n{error}\n"
+            )
+            if log:
+                log(f"FAIL csv-roundtrip {case.describe()}: {error}")
+        else:
+            capture.unlink(missing_ok=True)
+            if log:
+                log(f"ok   csv-roundtrip {case.describe()}")
+    return failures
+
+
 def run_fuzz(
     count: int,
     seed: int,

@@ -7,6 +7,15 @@ from repro.workloads.benchmarks import (
     build_trace,
     get_profile,
 )
+from repro.workloads.imports import (
+    ImportOptions,
+    TraceImportError,
+    detect_format,
+    export_csv,
+    import_trace,
+    infer_regions,
+    trace_content_hash,
+)
 from repro.workloads.io import load_trace_set, save_trace_set
 from repro.workloads.generators import (
     ComponentStream,
@@ -26,12 +35,19 @@ __all__ = [
     "BenchmarkProfile",
     "ComponentStream",
     "CoreTrace",
+    "ImportOptions",
+    "TraceImportError",
     "TraceSet",
     "build_trace",
     "compute_gaps",
+    "detect_format",
+    "export_csv",
     "get_profile",
+    "import_trace",
+    "infer_regions",
     "interleave_components",
     "load_trace_set",
+    "trace_content_hash",
     "loop_component",
     "migratory_component",
     "save_trace_set",

@@ -2,9 +2,23 @@
 
 Generating a trace is fast, but persisted traces make experiments
 byte-reproducible across library versions and let users bring their own
-traces (e.g. converted from a real pin/DynamoRIO capture) into the
-simulator: any ``TraceSet`` can be rebuilt from three arrays per core
-plus the region/class table.
+traces (e.g. converted from a real ChampSim/pin/DynamoRIO capture via
+:mod:`repro.workloads.imports`) into the simulator: any
+:class:`~repro.workloads.trace.TraceSet` can be rebuilt from three
+arrays per core plus the region/class table.
+
+Format history:
+
+* **version 1** — per-core ``types``/``lines``/``gaps`` arrays plus the
+  JSON metadata blob (name, core count, region table).
+* **version 2** — adds an optional ``provenance`` mapping to the
+  metadata (source capture format, file name, content hash, importer
+  options), carried on ``TraceSet.provenance``.  Version 1 archives
+  still load (their provenance is ``None``).
+
+:func:`load_trace_set` refuses archives written by a *newer* library
+version outright: a future layout could otherwise misparse silently
+into plausible-looking garbage.
 """
 
 from __future__ import annotations
@@ -19,7 +33,10 @@ from repro.common.types import LineClass
 from repro.workloads.trace import CoreTrace, TraceSet
 
 #: Format marker stored in the archive for forward compatibility.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Oldest archive version :func:`load_trace_set` can still read.
+MIN_SUPPORTED_VERSION = 1
 
 
 def save_trace_set(traces: TraceSet, path: str | Path) -> Path:
@@ -38,6 +55,7 @@ def save_trace_set(traces: TraceSet, path: str | Path) -> Path:
             {"base": region.base, "size": region.size, "class": int(line_class)}
             for region, line_class in traces.regions
         ],
+        "provenance": traces.provenance,
     }
     arrays["metadata"] = np.frombuffer(
         json.dumps(metadata).encode("utf-8"), dtype=np.uint8
@@ -48,14 +66,31 @@ def save_trace_set(traces: TraceSet, path: str | Path) -> Path:
 
 
 def load_trace_set(path: str | Path) -> TraceSet:
-    """Load a trace set previously written by :func:`save_trace_set`."""
-    with np.load(Path(path)) as archive:
+    """Load a trace set previously written by :func:`save_trace_set`.
+
+    Raises ``ValueError`` when the archive's format version is newer
+    than this library understands (the file is from a newer release —
+    upgrade to read it) or older than :data:`MIN_SUPPORTED_VERSION`.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
         metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
         version = metadata.get("version")
-        if version != FORMAT_VERSION:
+        if not isinstance(version, int):
             raise ValueError(
-                f"unsupported trace format version {version!r}; "
-                f"expected {FORMAT_VERSION}"
+                f"{path}: trace archive carries no integer format version "
+                f"(got {version!r}); not a repro trace archive?"
+            )
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: trace archive format version {version} is newer "
+                f"than the latest this library understands "
+                f"({FORMAT_VERSION}); upgrade repro to load it"
+            )
+        if version < MIN_SUPPORTED_VERSION:
+            raise ValueError(
+                f"{path}: trace archive format version {version} predates "
+                f"the oldest supported version ({MIN_SUPPORTED_VERSION})"
             )
         cores = [
             CoreTrace(
@@ -69,4 +104,7 @@ def load_trace_set(path: str | Path) -> TraceSet:
         (Region(entry["base"], entry["size"]), LineClass(entry["class"]))
         for entry in metadata["regions"]
     ]
-    return TraceSet(metadata["name"], cores, regions)
+    return TraceSet(
+        metadata["name"], cores, regions,
+        provenance=metadata.get("provenance"),
+    )

@@ -167,6 +167,13 @@ class TraceSet:
     cores: list[CoreTrace]
     #: (region, class) pairs with non-overlapping regions.
     regions: list[tuple[Region, LineClass]]
+    #: Import provenance for sets ingested from external captures
+    #: (:mod:`repro.workloads.imports`): source format/file/content hash
+    #: and importer options.  ``None`` for synthetic traces; persisted
+    #: by the version-2 ``.npz`` archive format.
+    provenance: "dict | None" = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         self._bases = sorted(

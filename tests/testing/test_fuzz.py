@@ -93,6 +93,38 @@ class TestRunFuzz:
         assert fuzz.FuzzCase.from_bundle(bundle) == case
 
 
+class TestCsvRoundtripFuzz:
+    def test_randomized_trace_sets_survive_csv_exactly(self, tmp_path):
+        failures = fuzz.run_csv_roundtrip_fuzz(4, seed=21, workdir=tmp_path)
+        assert failures == []
+        # Passing cases clean up their intermediate captures: only
+        # diverging ones may remain for artifact upload.
+        assert list(tmp_path.glob("case-*.csv.gz")) == []
+        assert list(tmp_path.glob("case-*.error")) == []
+
+    def test_divergence_is_reported_and_leaves_a_note(self, tmp_path,
+                                                      monkeypatch):
+        def always_diverges(case, workdir):
+            raise AssertionError("injected divergence")
+
+        monkeypatch.setattr(fuzz, "csv_roundtrip_case", always_diverges)
+        failures = fuzz.run_csv_roundtrip_fuzz(2, seed=3, workdir=tmp_path)
+        assert len(failures) == 2
+        assert "injected divergence" in failures[0]
+        notes = sorted(tmp_path.glob("case-*.error"))
+        assert len(notes) == 2
+        assert "injected divergence" in notes[0].read_text()
+
+    def test_cli_subcommand(self, tmp_path, capsys):
+        from repro.testing.__main__ import main
+
+        assert main([
+            "csv-roundtrip", "--cases", "2", "--seed", "6",
+            "--workdir", str(tmp_path / "work"),
+        ]) == 0
+        assert "2 exact, 0 diverged" in capsys.readouterr().out
+
+
 class TestCli:
     def test_fuzz_cli_exits_zero_on_success(self, capsys):
         from repro.testing.__main__ import main

@@ -1,16 +1,35 @@
 """Trace persistence round-trips."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.common.params import MachineConfig
 from repro.workloads.benchmarks import build_trace, get_profile
-from repro.workloads.io import FORMAT_VERSION, load_trace_set, save_trace_set
+from repro.workloads.io import (
+    FORMAT_VERSION,
+    MIN_SUPPORTED_VERSION,
+    load_trace_set,
+    save_trace_set,
+)
 
 
 @pytest.fixture
 def traces():
     return build_trace(get_profile("BARNES"), MachineConfig.tiny(), scale=0.05, seed=3)
+
+
+def _rewrite_metadata(path, mutate):
+    """Rewrite an archive's embedded JSON metadata in place."""
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    metadata = json.loads(bytes(arrays["metadata"]).decode("utf-8"))
+    mutate(metadata)
+    arrays["metadata"] = np.frombuffer(
+        json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
 
 
 class TestRoundTrip:
@@ -53,9 +72,64 @@ class TestRoundTrip:
 
 
 class TestVersioning:
-    def test_version_mismatch_rejected(self, traces, tmp_path, monkeypatch):
-        import repro.workloads.io as trace_io
+    def test_newer_version_rejected_with_upgrade_hint(self, traces, tmp_path):
+        """An archive from a *future* library release must fail loudly —
+        an unknown layout could otherwise misparse silently — and the
+        error must say the fix is upgrading, not that the file is bad."""
         path = save_trace_set(traces, tmp_path / "barnes.npz")
-        monkeypatch.setattr(trace_io, "FORMAT_VERSION", FORMAT_VERSION + 1)
-        with pytest.raises(ValueError, match="version"):
-            trace_io.load_trace_set(path)
+        _rewrite_metadata(path, lambda m: m.update(version=FORMAT_VERSION + 1))
+        with pytest.raises(ValueError, match=r"newer.*upgrade repro"):
+            load_trace_set(path)
+
+    def test_prehistoric_version_rejected(self, traces, tmp_path):
+        path = save_trace_set(traces, tmp_path / "barnes.npz")
+        _rewrite_metadata(
+            path, lambda m: m.update(version=MIN_SUPPORTED_VERSION - 1)
+        )
+        with pytest.raises(ValueError, match="predates"):
+            load_trace_set(path)
+
+    def test_non_integer_version_rejected(self, traces, tmp_path):
+        path = save_trace_set(traces, tmp_path / "barnes.npz")
+        _rewrite_metadata(path, lambda m: m.update(version="2"))
+        with pytest.raises(ValueError, match="no integer format version"):
+            load_trace_set(path)
+
+    def test_version_1_archive_still_loads(self, traces, tmp_path):
+        """Pre-provenance archives (format version 1) stay readable."""
+        path = save_trace_set(traces, tmp_path / "barnes.npz")
+
+        def downgrade(metadata):
+            metadata["version"] = 1
+            del metadata["provenance"]
+
+        _rewrite_metadata(path, downgrade)
+        loaded = load_trace_set(path)
+        assert loaded.provenance is None
+        assert loaded.regions == traces.regions
+        for original, restored in zip(traces.cores, loaded.cores):
+            assert np.array_equal(original.types, restored.types)
+
+
+class TestProvenance:
+    def test_round_trips_through_the_archive(self, traces, tmp_path):
+        traces.provenance = {"format": "csv", "source": "cap.csv",
+                             "records": traces.total_accesses()}
+        path = save_trace_set(traces, tmp_path / "barnes.npz")
+        loaded = load_trace_set(path)
+        assert loaded.provenance == traces.provenance
+
+    def test_synthetic_traces_have_none(self, traces, tmp_path):
+        path = save_trace_set(traces, tmp_path / "barnes.npz")
+        assert load_trace_set(path).provenance is None
+
+    def test_provenance_is_a_compare_false_field(self):
+        """provenance must never enter TraceSet comparisons — it is
+        descriptive metadata, not trace content."""
+        import dataclasses
+
+        from repro.workloads.trace import TraceSet
+
+        fields = {field.name: field for field in dataclasses.fields(TraceSet)}
+        assert fields["provenance"].compare is False
+        assert fields["provenance"].default is None

@@ -1,0 +1,126 @@
+"""The ``python -m repro trace`` command group."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.workloads.imports import TraceImportError
+from repro.workloads.io import load_trace_set
+
+
+def _synthesize(tmp_path, fmt, cores=4, records=60, seed=3):
+    out = tmp_path / f"cap.{fmt}"
+    assert main([
+        "trace", "synthesize-fixture", "--format", fmt,
+        "--cores", str(cores), "--records", str(records),
+        "--seed", str(seed), "--out", str(out),
+    ]) == 0
+    return out
+
+
+class TestSynthesizeFixture:
+    @pytest.mark.parametrize("fmt", ["champsim", "din", "csv"])
+    def test_each_format_imports_back(self, tmp_path, fmt, capsys):
+        capture = _synthesize(tmp_path, fmt)
+        npz = tmp_path / f"{fmt}.npz"
+        assert main([
+            "trace", "import", str(capture), "--cores", "4",
+            "--out", str(npz),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "synthesized" in out and "imported" in out
+        traces = load_trace_set(npz)
+        assert traces.num_cores == 4
+        assert traces.provenance["format"] == fmt
+        traces.validate_coverage()
+
+    def test_unsupported_core_count_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "trace", "synthesize-fixture", "--format", "csv",
+                "--cores", "5", "--out", str(tmp_path / "x.csv"),
+            ])
+
+
+class TestImport:
+    def test_format_override_beats_detection(self, tmp_path):
+        # A .csv extension with din content: --format din must win.
+        capture = tmp_path / "odd.csv"
+        capture.write_text("0 0x1000\n1 0x1040\n")
+        npz = tmp_path / "odd.npz"
+        assert main([
+            "trace", "import", str(capture), "--format", "din",
+            "--out", str(npz),
+        ]) == 0
+        assert load_trace_set(npz).provenance["format"] == "din"
+
+    def test_name_option(self, tmp_path):
+        capture = tmp_path / "cap.csv"
+        capture.write_text("0,0,R,4\n")
+        npz = tmp_path / "named.npz"
+        assert main([
+            "trace", "import", str(capture), "--name", "mytrace",
+            "--out", str(npz),
+        ]) == 0
+        assert load_trace_set(npz).name == "mytrace"
+
+    def test_malformed_capture_surfaces_location(self, tmp_path):
+        capture = tmp_path / "bad.csv"
+        capture.write_text("0,5,R,4\n0,1,R,5\n")
+        with pytest.raises(TraceImportError, match=r"bad\.csv:2"):
+            main([
+                "trace", "import", str(capture),
+                "--out", str(tmp_path / "bad.npz"),
+            ])
+
+
+class TestInspect:
+    def test_summarizes_an_archive(self, tmp_path, capsys):
+        capture = _synthesize(tmp_path, "csv")
+        npz = tmp_path / "t.npz"
+        main(["trace", "import", str(capture), "--out", str(npz)])
+        capsys.readouterr()
+        assert main(["trace", "inspect", str(npz)]) == 0
+        out = capsys.readouterr().out
+        assert "cores:    4" in out
+        assert "regions:" in out
+        assert "provenance:" in out
+        assert "source_sha256" in out
+
+
+class TestForwarding:
+    def test_experiments_group_forwards(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        assert "Registered experiments" in capsys.readouterr().out
+
+    def test_testing_group_forwards(self, tmp_path, capsys):
+        assert main([
+            "testing", "csv-roundtrip", "--cases", "1", "--seed", "2",
+            "--workdir", str(tmp_path / "rt"),
+        ]) == 0
+        assert "1 exact, 0 diverged" in capsys.readouterr().out
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestFixtureRoundTripExactness:
+    def test_csv_fixture_reimports_identically(self, tmp_path):
+        """The conformance contract: synthesize → import → the .npz and
+        a re-saved copy carry identical arrays."""
+        from repro.workloads.io import save_trace_set
+
+        capture = _synthesize(tmp_path, "csv")
+        npz = tmp_path / "a.npz"
+        main(["trace", "import", str(capture), "--out", str(npz)])
+        first = load_trace_set(npz)
+        second = load_trace_set(save_trace_set(first, tmp_path / "b.npz"))
+        assert first.regions == second.regions
+        assert first.provenance == second.provenance
+        for a, b in zip(first.cores, second.cores):
+            assert np.array_equal(a.types, b.types)
+            assert np.array_equal(a.lines, b.lines)
+            assert np.array_equal(a.gaps, b.gaps)
