@@ -23,7 +23,19 @@ experiments.  Three workload regimes are measured:
   hits instead of single-stepping the miss path, and ≥1.3× over the
   *fast* kernel is asserted here.
 
-Every regime is measured under all three kernels so the uploaded
+The ``RUNHEAVY`` regime is also the vector kernel's acceptance gate:
+its long zero-gap hit runs are serviced array-at-a-time (one numpy
+span commit instead of tens of thousands of scheduler entries), and
+≥10× over the *reference* kernel is asserted here.  The other regimes
+cannot reach 10× by construction — ``HOTLOOP``'s lockstep scheduling
+caps every span at a handful of records, and ``REPLHEAVY``'s replica
+hits delegate to the batched closure's sequential LRU churn — so, as
+with the batched gate, the vector floor is asserted only where the
+kernel's design target lies; everywhere else the differential tests
+pin bit-identity and ``choose_kernel`` is asserted to pick vector only
+where it wins.
+
+Every regime is measured under all four kernels so the uploaded
 benchmark JSON (and the checked-in ``benchmarks/baseline.json`` trend
 diff) tracks each kernel separately.
 """
@@ -42,16 +54,20 @@ SPEEDUP_FLOOR = float(os.environ.get("REPRO_KERNEL_SPEEDUP_MIN", "2.0"))
 #: Minimum batched/fast speedup on the run-heavy regime (locally ~1.5x).
 BATCHED_SPEEDUP_FLOOR = float(os.environ.get("REPRO_BATCHED_SPEEDUP_MIN", "1.3"))
 
+#: Minimum vector/reference speedup on the run-heavy regime (locally
+#: ~10-14x; noisy shared CI runners relax it via the environment).
+VECTOR_SPEEDUP_FLOOR = float(os.environ.get("REPRO_VECTOR_SPEEDUP_MIN", "10.0"))
+
 from repro.common.addr import Region
 from repro.common.params import MachineConfig
 from repro.common.types import AccessType, LineClass
 from repro.schemes.factory import make_scheme
-from repro.sim.kernel import kernel_names
+from repro.sim.kernel import choose_kernel, kernel_names
 from repro.sim.simulator import simulate
 from repro.workloads.benchmarks import BenchmarkProfile, build_trace, get_profile
 from repro.workloads.trace import CoreTrace, TraceSet
 
-KERNELS = tuple(kernel_names())  # ("reference", "fast", "batched")
+KERNELS = tuple(kernel_names())  # ("reference", "fast", "batched", "vector")
 
 #: L1-resident loop: the hit-heavy regime where loop overhead dominates.
 HOTLOOP_PROFILE = BenchmarkProfile(
@@ -370,6 +386,45 @@ def test_batched_kernel_speedup_on_replheavy(replheavy_trace, scheme):
         f"batched kernel only {speedup:.2f}x over fast on {scheme} REPLHEAVY "
         f"(required >= {BATCHED_SPEEDUP_FLOOR}x)"
     )
+
+
+@pytest.mark.parametrize("scheme", ["S-NUCA", "RT-3"])
+def test_vector_kernel_speedup_on_runheavy(runheavy_trace, scheme):
+    """Acceptance gate: the vector kernel is ≥10× the *reference*
+    kernel on the run-heavy regime — the long zero-gap hit runs it
+    commits as single numpy spans (measured ~10-14×;
+    REPRO_VECTOR_SPEEDUP_MIN relaxes the floor on noisy runners)."""
+    config, traces = runheavy_trace
+    # Best-of-5: a 10x floor leaves less noise headroom than the 1.3x
+    # gates above, and extra vector rounds are nearly free (~60ms each).
+    reference_rate = _best_rate("reference", scheme, config, traces, rounds=5)
+    vector_rate = _best_rate("vector", scheme, config, traces, rounds=5)
+    speedup = vector_rate / reference_rate
+    print(
+        f"\n{scheme}: reference {reference_rate:,.0f} acc/s, "
+        f"vector {vector_rate:,.0f} acc/s — {speedup:.2f}x"
+    )
+    assert speedup >= VECTOR_SPEEDUP_FLOOR, (
+        f"vector kernel only {speedup:.2f}x over reference on {scheme} "
+        f"(required >= {VECTOR_SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_auto_selection_tracks_the_winning_kernel(
+    hotloop_trace, runheavy_trace, replheavy_trace
+):
+    """``choose_kernel`` must route each benchmark regime to the kernel
+    the gates above show winning there: lockstep HOTLOOP to ``fast``,
+    and both imbalanced regimes to ``vector`` when the engine supports
+    spans (falling back to ``batched`` when it does not)."""
+    config, hotloop = hotloop_trace
+    _, runheavy = runheavy_trace
+    _, replheavy = replheavy_trace
+    engine = make_scheme("RT-3", config)
+    assert choose_kernel(hotloop, engine) == "fast"
+    assert choose_kernel(runheavy, engine) == "vector"
+    assert choose_kernel(replheavy, engine) == "vector"
+    assert choose_kernel(runheavy) == "batched"
 
 
 def test_trace_generation_throughput(benchmark):

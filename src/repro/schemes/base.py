@@ -28,6 +28,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
+import numpy as np
+
 from repro.cache.entries import HomeEntry, L1Line, ReplicaEntry
 from repro.cache.l1 import L1Cache
 from repro.cache.llc import LLCSlice
@@ -392,6 +394,18 @@ class ProtocolEngine:
             and self._make_replica_service() is not None
         )
 
+    def supports_vector_spans(self) -> bool:
+        """Whether the vector kernel's array-at-a-time spans engage.
+
+        The ``auto`` kernel probe's vector signal
+        (:func:`repro.sim.kernel.choose_kernel`): True when
+        :meth:`make_vector_access` would return a working closure for
+        integral-gap traces — i.e. batching is available, so vectorized
+        L1-hit spans (which need no further engine support) run on top
+        of it.
+        """
+        return self.make_vector_access() is not None
+
     def make_batched_access(self, charge_gaps: bool = False):
         """Run-servicing entry point for the batched simulation kernel.
 
@@ -686,6 +700,557 @@ class ProtocolEngine:
             return index, now, yielded
 
         return run_hits
+
+    # ------------------------------------------------------------------
+    # Vector-kernel specialization
+    # ------------------------------------------------------------------
+    #: Minimum vectorizable L1-hit span (records) worth the numpy planning
+    #: overhead.  Purely a performance heuristic: shorter spans are simply
+    #: serviced by the batched per-record closure instead, so any value is
+    #: bit-identical.
+    VECTOR_MIN_SPAN = 24
+
+    def _home_request_stock(self) -> bool:
+        """Whether the home-request read path is the base implementation.
+
+        The vector kernel's inline home-hit arm re-implements the no-mesh
+        read case of :meth:`_home_request` / :meth:`_home_access` /
+        :meth:`_service_read`; any override must disable it.
+        """
+        cls = type(self)
+        return not (
+            "_home_request" in self.__dict__
+            or "_home_access" in self.__dict__
+            or "_service_read" in self.__dict__
+            or "_resolve_home" in self.__dict__
+            or "_home_of_cached_line" in self.__dict__
+            or cls._home_request is not ProtocolEngine._home_request
+            or cls._home_access is not ProtocolEngine._home_access
+            or cls._service_read is not ProtocolEngine._service_read
+            or cls._resolve_home is not ProtocolEngine._resolve_home
+            or cls._home_of_cached_line is not ProtocolEngine._home_of_cached_line
+        )
+
+    def _home_service_guards(self) -> bool:
+        """Whether inline local-home-hit servicing is sound for this scheme.
+
+        The base rule additionally requires the replica-placement hooks to
+        be stock, because the inline arm assumes (a) ``local_lookup`` of a
+        line whose *home* entry sits in the requester's own slice charges
+        nothing, and (b) ``replica_would_help(home == core)`` is False, so
+        no replica is ever created at the home.  Schemes for which both
+        still hold under their own overrides (the locality scheme) widen
+        the check.
+        """
+        cls = type(self)
+        if (
+            "local_lookup" in self.__dict__
+            or cls.local_lookup is not ProtocolEngine.local_lookup
+            or cls.replica_slice_for is not ProtocolEngine.replica_slice_for
+            or cls.replica_would_help is not ProtocolEngine.replica_would_help
+        ):
+            return False
+        return self._home_request_stock()
+
+    def _make_home_service(self):
+        """Inline servicing of local-home read hits (vector kernel).
+
+        Returns ``None``, or a closure ``home_step(core, line_addr,
+        is_ifetch, now) -> float | None`` servicing one L1-missing *read*
+        (data or instruction fetch) as an LLC hit at a home entry in the
+        requester's own slice.  This is the one miss disposition that is
+        schedule-free — no mesh message in either direction, no remote
+        owner to downgrade, no replica created (``replica_would_help`` is
+        False at the home) — yet breaks batched replica runs (R-NUCA
+        homes ~1/num_cores of any shared region in the requester's own
+        slice), so servicing it inline is what lets vector/batched runs
+        span whole replica-heavy phases.
+
+        Every precheck runs before any mutation: a ``None`` return leaves
+        the machine untouched and the caller single-steps the record
+        through the generic miss path.  On success the closure commits
+        the exact reference side effects — placement observation, home
+        resolution, per-line serialization (``line_busy``), directory
+        read (sharers/owner/E-grant), classifier hook, LLC LRU touch,
+        the L1 fill with a locally-disposable victim — and returns the
+        access's total latency (``result.latency + l1_latency``).
+        """
+        if not (self._replica_batching_guards() and self._stock_eviction_hooks()):
+            return None
+        if not self._home_service_guards():
+            return None
+        config = self.config
+        l1_latency = config.l1_latency
+        tag_latency = config.llc_tag_latency
+        data_latency = config.llc_data_latency
+        stats = self.stats
+        counters = stats.counters
+        latency_buckets = stats.latency
+        miss_status = stats.miss_status
+        energy_counts = stats.energy_counts
+        l1i = self.l1i
+        l1d = self.l1d
+        slices = self.slices
+        placement = self.placement
+        peek_home = placement.peek_home
+        observe_access = placement.observe_access
+        active_home = self._active_home
+        line_busy = self._line_busy
+        replica_slice_for = self.replica_slice_for
+        home_of_cached_line = self._home_of_cached_line
+        should_replicate = self.should_replicate
+        MODIFIED = MESIState.MODIFIED
+        EXCLUSIVE = MESIState.EXCLUSIVE
+        SHARED = MESIState.SHARED
+        LLC_HOME_HIT = MissStatus.LLC_HOME_HIT
+        L1_HIT_TIME = stat_names.L1_HIT_TIME
+        L1_TO_LLC_HOME = stat_names.L1_TO_LLC_HOME
+        LLC_HOME_WAITING = stat_names.LLC_HOME_WAITING
+        LLC_HOME_TO_SHARERS = stat_names.LLC_HOME_TO_SHARERS
+        LLC_HOME_TO_OFFCHIP = stat_names.LLC_HOME_TO_OFFCHIP
+        L1I_READ = energy_events.L1I_READ
+        L1D_READ = energy_events.L1D_READ
+        L1I_WRITE = energy_events.L1I_WRITE
+        L1D_WRITE = energy_events.L1D_WRITE
+        LLC_TAG_READ = energy_events.LLC_TAG_READ
+        LLC_DATA_READ = energy_events.LLC_DATA_READ
+        LLC_DATA_WRITE = energy_events.LLC_DATA_WRITE
+        DIR_READ = energy_events.DIR_READ
+        DIR_WRITE = energy_events.DIR_WRITE
+
+        homes_depend_on_requester = placement.homes_depend_on_requester
+
+        def home_step(core, line_addr, is_ifetch, now):
+            # -- prechecks: all pure; None leaves the machine untouched --
+            if is_ifetch and homes_depend_on_requester:
+                # Per-cluster instruction homes skip the _active_home
+                # bookkeeping; keep that branch on the generic path.
+                return None
+            array = (l1i if is_ifetch else l1d)[core]._array
+            if array.lookup(line_addr) is not None:
+                return None  # L1 hit / write upgrade: not this path
+            llc = slices[core]
+            entry = llc.home(line_addr)
+            if entry is None:
+                return None  # remote home or off-chip miss
+            if peek_home(line_addr, core, is_ifetch) != core:
+                return None  # resolution would land (or migrate) elsewhere
+            current = active_home.get(line_addr)
+            if current is not None and current != core:
+                return None  # resolution would migrate the old home
+            owner = entry.owner
+            if owner is not None and owner != core:
+                return None  # remote owner: the downgrade crosses the mesh
+            victim = array.victim_for(line_addr)
+            victim_replica = None
+            victim_home = None
+            if victim is not None:
+                victim_replica = slices[
+                    replica_slice_for(core, victim.line_addr)
+                ].replica(victim.line_addr)
+                if victim_replica is None:
+                    if home_of_cached_line(core, victim.line_addr, is_ifetch) != core:
+                        return None  # victim ack would cross the mesh
+                    victim_home = llc.home(victim.line_addr)
+            # -- commit: mirrors access() for this disposition exactly --
+            energy_counts[L1I_READ if is_ifetch else L1D_READ] += 1
+            counters["l1i_misses" if is_ifetch else "l1d_misses"] += 1
+            # local_lookup: the local slice holds the home entry, so the
+            # probe is the home access itself (zero extra cost/energy).
+            observe_access(line_addr, core, is_ifetch)
+            active_home[line_addr] = core
+            busy_key = (core, line_addr)
+            busy_until = line_busy.get(busy_key, 0.0)
+            wait = busy_until - now if busy_until > now else 0.0
+            latency_buckets[LLC_HOME_WAITING] += wait
+            t = now + wait
+            energy_counts[LLC_TAG_READ] += 1
+            energy_counts[DIR_READ] += 1
+            t += tag_latency
+            counters["llc_home_hits"] += 1
+            llc.touch(entry)
+            # _service_read with a local (or absent) owner: no downgrade,
+            # no sharer latency.
+            members_before = entry.sharers.members()
+            only_sharer = not (members_before - {core})
+            entry.sharers.add(core)
+            if only_sharer:
+                grant = EXCLUSIVE
+                entry.owner = core
+            else:
+                grant = SHARED
+            should_replicate(entry, core, False, is_ifetch, only_sharer)
+            # replica_would_help(home == core) is False under the guards:
+            # no replica is created, whatever the classifier said.
+            energy_counts[LLC_DATA_READ] += 1
+            energy_counts[DIR_WRITE] += 1
+            t += data_latency
+            line_busy[busy_key] = t
+            total = t - now
+            home_component = total - wait - 0.0 - 0.0
+            if home_component < 0.0:
+                home_component = 0.0
+            latency_buckets[L1_TO_LLC_HOME] += home_component
+            latency_buckets[LLC_HOME_TO_SHARERS] += 0.0
+            latency_buckets[LLC_HOME_TO_OFFCHIP] += 0.0
+            # _fill_l1 with the precomputed victim (no mutation happened
+            # between the precheck and here, so it is still the victim).
+            if victim is not None:
+                array.remove(victim.line_addr)
+            l1_entry = L1Line(line_addr, grant)
+            array.insert(l1_entry)
+            energy_counts[L1I_WRITE if is_ifetch else L1D_WRITE] += 1
+            replica = llc.replica(line_addr)
+            if replica is not None:
+                replica.l1_copy = True
+            if victim is not None:
+                counters["l1_evictions"] += 1
+                dirty = victim.dirty or victim.state is MODIFIED
+                if victim_replica is not None:
+                    # Merge arm of _notify_home_of_l1_eviction.
+                    victim_replica.l1_copy = False
+                    if dirty:
+                        victim_replica.dirty = True
+                        if victim_replica.state.writable:
+                            victim_replica.state = MODIFIED
+                        energy_counts[LLC_DATA_WRITE] += 1
+                elif victim_home is not None:
+                    # Local-home ack arm (no mesh: victim home == core).
+                    victim_home.sharers.remove(core)
+                    if victim_home.owner == core:
+                        victim_home.owner = None
+                        victim_home.state = SHARED
+                    if dirty:
+                        victim_home.dirty = True
+                        energy_counts[LLC_DATA_WRITE] += 1
+                    energy_counts[DIR_WRITE] += 1
+            miss_status[LLC_HOME_HIT] += 1
+            latency_buckets[L1_HIT_TIME] += l1_latency
+            return total + l1_latency
+
+        return home_step
+
+    def make_vector_access(self, charge_gaps: bool = False):
+        """Array-at-a-time entry point for the vector simulation kernel.
+
+        Returns a closure with the exact ``run_hits`` contract of
+        :meth:`make_batched_access` — ``run_vector(core, decoded, index,
+        stop, now, limit, strict) -> (index, now, yielded)`` — that
+        executes whole *pure-L1-hit spans* as numpy array operations
+        instead of a per-record Python loop:
+
+        * a **span oracle** proves records hittable in bulk: during a
+          span of L1 hits, L1 membership and line writability are
+          invariant (hits never evict; writes only land on writable
+          lines, and MODIFIED stays writable), so a sorted snapshot of
+          each L1 array plus ``searchsorted`` membership/writability
+          tests classifies an arbitrary window of upcoming records at
+          once.  The first non-hit (miss, or write needing an upgrade)
+          ends the span;
+        * **per-record completion times** replay the reference clock
+          chain exactly: the reference advances ``now = (now + gap) +
+          l1_latency`` per record — two separately rounded float adds —
+          and ``np.cumsum`` (sequential accumulation, never pairwise)
+          over the interleaved ``(gap, latency)`` increments performs
+          the identical sequence of float64 adds.  The resulting clock
+          vector matches the reference bit-for-bit even when ``now``
+          carries a fractional DRAM-queue component, so truncating the
+          span at the scheduling limit with one ``searchsorted`` over
+          ``t`` reproduces the reference per-record yield check;
+        * **LRU replay** commits the snapshot-validated hits exactly:
+          the reference bumps the array clock once per hit and stamps
+          the entry, so per array ``_clock += n`` and each touched line
+          gets ``last_use = clock_before + (1-based ordinal of its last
+          hit)`` — computed with one ``np.unique`` over the reversed
+          hit sequence.  Written lines go MODIFIED/dirty (idempotent);
+        * the **stats flush** per span is identical to the batched
+          flush for the same records (integer counter/energy adds plus
+          one ``gap_prefix`` Compute charge).
+
+        Everything that is not a pure L1 hit delegates: short spans and
+        replica hits go through the captured :meth:`make_batched_access`
+        closure (per-record, replica fast path included), local-home
+        read hits through :meth:`_make_home_service`, and anything else
+        returns to the kernel for single-stepping.  Returns ``None`` —
+        the vector kernel then falls back to the batched kernel — when
+        batching itself is unavailable or when ``charge_gaps`` is set
+        (fractional gaps make the reference Compute accumulation order
+        observable, which array summation cannot reproduce).
+        """
+        if charge_gaps:
+            return None
+        run_hits = self.make_batched_access(charge_gaps=False)
+        if run_hits is None:
+            return None
+        home_step = self._make_home_service()
+        l1_latency = self.config.l1_latency
+        stats = self.stats
+        counters = stats.counters
+        latency_buckets = stats.latency
+        miss_status = stats.miss_status
+        energy_counts = stats.energy_counts
+        l1i_caches = self.l1i
+        l1d_caches = self.l1d
+        min_span = self.VECTOR_MIN_SPAN
+        min_budget = min_span * l1_latency
+        INFINITY = float("inf")
+        IFETCH_CODE = int(AccessType.IFETCH)
+        WRITE_CODE = int(AccessType.WRITE)
+        IFETCH = AccessType.IFETCH
+        WRITE = AccessType.WRITE
+        MODIFIED = MESIState.MODIFIED
+        L1_HIT = MissStatus.L1_HIT
+        COMPUTE = stat_names.COMPUTE
+        L1_HIT_TIME = stat_names.L1_HIT_TIME
+        L1I_READ = energy_events.L1I_READ
+        L1D_READ = energy_events.L1D_READ
+        L1D_WRITE = energy_events.L1D_WRITE
+
+        def snapshot(array):
+            """Sorted (lines, writability) view of one L1 array."""
+            sets = array._sets
+            addrs = [line_addr for cache_set in sets for line_addr in cache_set]
+            writable = [
+                entry.state.writable
+                for cache_set in sets
+                for entry in cache_set.values()
+            ]
+            lines = np.array(addrs, dtype=np.int64)
+            order = np.argsort(lines)
+            return lines[order], np.asarray(writable, dtype=bool)[order]
+
+        def membership(sorted_lines, seg_lines):
+            """(hit mask, clipped insertion index) for a record window."""
+            size = sorted_lines.shape[0]
+            if size == 0:
+                zeros = np.zeros(seg_lines.shape[0], dtype=np.intp)
+                return np.zeros(seg_lines.shape[0], dtype=bool), zeros
+            idx = np.searchsorted(sorted_lines, seg_lines)
+            np.minimum(idx, size - 1, out=idx)
+            return sorted_lines[idx] == seg_lines, idx
+
+        def replay_lru(array, seq):
+            """Commit a pure-hit sequence's exact LRU effects on one array.
+
+            The reference bumps ``_clock`` once per hit and stamps the
+            entry; only each line's *last* hit is observable, at
+            ``clock_before + its 1-based hit ordinal``.
+            """
+            base = array._clock
+            n = seq.shape[0]
+            uniq, first_pos = np.unique(seq[::-1], return_index=True)
+            last_ordinal = n - first_pos
+            sets = array._sets
+            set_index = array._geometry.set_index
+            for line_addr, ordinal in zip(uniq.tolist(), last_ordinal.tolist()):
+                sets[set_index(line_addr)][line_addr].last_use = base + ordinal
+            array._clock = base + n
+
+        def run_vector(core, decoded, index, stop, now, limit, strict):
+            types_arr = decoded.types_array
+            lines_arr = decoded.lines_array
+            gaps_arr = decoded.gaps_array
+            gap_prefix = decoded.gap_prefix
+            atypes = decoded.atypes
+            lines = decoded.lines
+            gaps = decoded.gaps
+            data_array = l1d_caches[core]._array
+            instr_array = l1i_caches[core]._array
+            d_snap = None
+            i_snap = None
+            while True:
+                # ---- vectorized pure-L1-hit span --------------------------
+                first_hit = False
+                if stop - index >= min_span and limit - now >= min_budget:
+                    # Scalar pre-gate: only pay for numpy planning when
+                    # both the first record and the record at
+                    # ``min_span - 1`` are L1 hits right now.  During a
+                    # pure-hit span membership and writability never
+                    # improve (hits don't insert lines; a non-writable
+                    # line can't become writable without a miss), so a
+                    # currently-unhittable record there proves no
+                    # committable span exists — skipping two snapshot
+                    # builds and a window oracle.
+                    for probe in (index, index + min_span - 1):
+                        atype0 = atypes[probe]
+                        if atype0 is IFETCH:
+                            entry0 = instr_array.lookup(lines[probe])
+                            first_hit = entry0 is not None
+                        else:
+                            entry0 = data_array.lookup(lines[probe])
+                            first_hit = entry0 is not None and (
+                                atype0 is not WRITE or entry0.state.writable
+                            )
+                        if not first_hit:
+                            break
+                if first_hit:
+                    if d_snap is None:
+                        d_snap = snapshot(data_array)
+                    if i_snap is None:
+                        i_snap = snapshot(instr_array)
+                    d_lines, d_writable = d_snap
+                    i_lines, i_writable = i_snap
+                    # Plan: grow a window until the first non-hit (or stop),
+                    # so short spans never pay for a full-run oracle.
+                    # The scheduling limit bounds how far a span can
+                    # commit — completion times grow by at least
+                    # ``l1_latency`` per record — so don't classify
+                    # records the limit truncation would discard anyway.
+                    plan_stop = stop
+                    if limit != INFINITY:
+                        budget_cap = index + int((limit - now) / l1_latency) + 2
+                        if budget_cap < plan_stop:
+                            plan_stop = budget_cap
+                    n_hits = 0
+                    window = 64
+                    pos = index
+                    while pos < plan_stop:
+                        end = (
+                            plan_stop
+                            if plan_stop - pos < window
+                            else pos + window
+                        )
+                        seg_lines = lines_arr[pos:end]
+                        seg_types = types_arr[pos:end]
+                        d_hit, d_idx = membership(d_lines, seg_lines)
+                        is_write = seg_types == WRITE_CODE
+                        if is_write.any():
+                            ok = d_hit & (~is_write | d_writable[d_idx])
+                        else:
+                            ok = d_hit
+                        is_instr = seg_types == IFETCH_CODE
+                        if is_instr.any():
+                            i_hit, _ = membership(i_lines, seg_lines)
+                            ok = np.where(is_instr, i_hit, ok)
+                        if not ok.all():
+                            n_hits += int(np.argmin(ok))
+                            break
+                        n_hits += end - pos
+                        pos = end
+                        window <<= 3
+                    if n_hits >= min_span:
+                        # Exact per-record completion times: the
+                        # reference advances ``now = (now + gap) +
+                        # l1_latency``, two separately rounded float
+                        # adds per record.  ``np.cumsum`` (sequential
+                        # accumulation, never pairwise) over the
+                        # interleaved (gap, latency) increments performs
+                        # the identical sequence of float64 adds, so the
+                        # clocks match the reference bit-for-bit even
+                        # when ``now`` carries a fractional DRAM-queue
+                        # component or the gaps are themselves
+                        # fractional.
+                        incr = np.empty(2 * n_hits + 1, dtype=np.float64)
+                        incr[0] = now
+                        incr[1::2] = gaps_arr[index : index + n_hits]
+                        incr[2::2] = l1_latency
+                        t = np.cumsum(incr)[2::2]
+                        if limit == INFINITY:
+                            n = n_hits
+                            yielded = False
+                        else:
+                            # First record whose completion triggers the
+                            # reference yield check ends the span.
+                            k = int(
+                                np.searchsorted(
+                                    t, limit, "right" if strict else "left"
+                                )
+                            )
+                            if k < n_hits:
+                                n = k + 1
+                                yielded = True
+                            else:
+                                n = n_hits
+                                yielded = False
+                        span_end = float(t[n - 1])
+                        span_lines = lines_arr[index : index + n]
+                        span_types = types_arr[index : index + n]
+                        span_instr = span_types == IFETCH_CODE
+                        span_write = span_types == WRITE_CODE
+                        n_instr = int(np.count_nonzero(span_instr))
+                        n_data = n - n_instr
+                        n_write = int(np.count_nonzero(span_write))
+                        if n_instr:
+                            d_seq = span_lines[~span_instr]
+                            i_seq = span_lines[span_instr]
+                        else:
+                            d_seq = span_lines
+                            i_seq = None
+                        if n_data:
+                            replay_lru(data_array, d_seq)
+                        if n_instr:
+                            replay_lru(instr_array, i_seq)
+                        if n_write:
+                            # Writes only landed on writable lines, and
+                            # MODIFIED stays writable: the snapshot's
+                            # writability view remains valid.
+                            written = np.unique(span_lines[span_write])
+                            lookup = data_array.lookup
+                            for line_addr in written.tolist():
+                                entry = lookup(line_addr)
+                                entry.state = MODIFIED
+                                entry.dirty = True
+                        run_gaps = float(gap_prefix[index + n] - gap_prefix[index])
+                        if run_gaps:
+                            latency_buckets[COMPUTE] += run_gaps
+                        latency_buckets[L1_HIT_TIME] += n * l1_latency
+                        miss_status[L1_HIT] += n
+                        if n_data:
+                            counters["l1d_hits"] += n_data
+                            energy_counts[L1D_READ] += n_data
+                        if n_instr:
+                            counters["l1i_hits"] += n_instr
+                            energy_counts[L1I_READ] += n_instr
+                        if n_write:
+                            energy_counts[L1D_WRITE] += n_write
+                        index += n
+                        now = span_end
+                        if yielded:
+                            return index, now, True
+                        if index >= stop:
+                            return index, now, False
+                        # A pure-hit span leaves L1 membership (and the
+                        # writability of every snapshotted line) intact:
+                        # the snapshots stay valid for the next attempt.
+                # ---- per-record delegation: batched closure ---------------
+                new_index, now, yielded = run_hits(
+                    core, decoded, index, stop, now, limit, strict
+                )
+                if new_index != index:
+                    # Replica fills change L1 membership.
+                    d_snap = None
+                    i_snap = None
+                    index = new_index
+                if yielded:
+                    return index, now, True
+                if index >= stop:
+                    return index, now, False
+                # ---- inline local-home read hit ---------------------------
+                if home_step is None:
+                    return index, now, False
+                atype = atypes[index]
+                if atype is WRITE:
+                    return index, now, False
+                is_ifetch = atype is IFETCH
+                gap = gaps[index]
+                issue = now + gap
+                latency = home_step(core, lines[index], is_ifetch, issue)
+                if latency is None:
+                    return index, now, False
+                if gap:
+                    latency_buckets[COMPUTE] += gap
+                now = issue + latency
+                index += 1
+                if is_ifetch:  # the L1 fill changed membership
+                    i_snap = None
+                else:
+                    d_snap = None
+                if now >= limit and (not strict or now > limit):
+                    return index, now, True
+                if index >= stop:
+                    return index, now, False
+
+        return run_vector
 
     # ------------------------------------------------------------------
     # Miss handling

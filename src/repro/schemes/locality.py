@@ -146,6 +146,33 @@ class LocalityAwareScheme(ProtocolEngine):
             return home != core
         return home not in self._cluster_map[core]
 
+    def _home_service_guards(self) -> bool:
+        """Non-cluster locality qualifies for inline local-home servicing.
+
+        The base assumptions hold under this scheme's own hooks: with no
+        cluster map, :meth:`local_lookup` of a line whose *home* entry is
+        in the requester's slice takes the free-probe branch (the replica
+        probe is physically the home tag lookup), and
+        :meth:`replica_would_help` is ``home != core`` — False at the
+        home — so no replica is created.  Cluster-level replication is
+        declined (probes cross the mesh), as are further overrides of the
+        hooks this analysis covers.
+        """
+        if self._cluster_map is not None:
+            return False
+        if (
+            "local_lookup" in self.__dict__
+            or "replica_slice_for" in self.__dict__
+            or "replica_would_help" in self.__dict__
+            or type(self).local_lookup is not LocalityAwareScheme.local_lookup
+            or type(self).replica_slice_for
+            is not LocalityAwareScheme.replica_slice_for
+            or type(self).replica_would_help
+            is not LocalityAwareScheme.replica_would_help
+        ):
+            return False
+        return self._home_request_stock()
+
     # ------------------------------------------------------------------
     # Local replica lookup (Section 2.2.1 / 2.2.2)
     # ------------------------------------------------------------------

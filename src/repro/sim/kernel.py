@@ -36,6 +36,16 @@ and reschedules it.  Two interchangeable kernels implement that loop:
   (overridden hooks, TLA hints), the batched kernel falls back to the
   fast loop wholesale.
 
+* :class:`VectorKernel` — the array-at-a-time hot path.  Same run loop
+  as the batched kernel, but runs go to the engine's *vector* closure
+  (:meth:`~repro.schemes.base.ProtocolEngine.make_vector_access`),
+  which proves and commits whole pure-L1-hit spans with numpy array
+  operations (sorted-snapshot membership oracles, ``gap_prefix``
+  completion times, exact vectorized LRU replay) and services replica
+  and local-home hits per record in between.  Falls back to the
+  batched kernel when the engine declines (fractional gaps, overridden
+  hooks).
+
 All kernels produce **identical** :class:`~repro.sim.stats.SimStats` —
 not merely statistically equivalent: the optimized kernels process
 events in exactly the order the reference kernel would, every
@@ -344,16 +354,28 @@ class BatchedKernel(FastKernel):
     #: the budget per record regardless, so any value is bit-identical.
     BATCH_MIN_L1_LATENCIES = 8.0
 
+    def _make_run_service(self, engine: "ProtocolEngine", charge_gaps: bool):
+        """The engine closure this kernel hands whole runs to.
+
+        Subclass hook (the vector kernel swaps in its array-at-a-time
+        closure); the run loop is otherwise identical.
+        """
+        maker = getattr(engine, "make_batched_access", None)
+        return maker(charge_gaps=charge_gaps) if maker is not None else None
+
+    def _fallback_run(self, engine: "ProtocolEngine", traces: "TraceSet") -> None:
+        """Where to go when the engine declines the run-service closure."""
+        FastKernel.run(self, engine, traces)
+
     def run(self, engine: "ProtocolEngine", traces: "TraceSet") -> None:
         stats = engine.stats
         num_cores = engine.config.num_cores
         decoded = traces.decoded()
 
         charge_gaps = not all(d.gaps_integral for d in decoded)
-        maker = getattr(engine, "make_batched_access", None)
-        run_hits = maker(charge_gaps=charge_gaps) if maker is not None else None
+        run_hits = self._make_run_service(engine, charge_gaps)
         if run_hits is None:
-            super().run(engine, traces)
+            self._fallback_run(engine, traces)
             return
         fast_access = None
         fast_maker = getattr(engine, "make_fast_access", None)
@@ -477,11 +499,47 @@ class BatchedKernel(FastKernel):
                     break
 
 
+class VectorKernel(BatchedKernel):
+    """Array-at-a-time event loop — bit-identical to the reference.
+
+    Same run loop as :class:`BatchedKernel` (frozen per-pop scheduling
+    budget, ``run_stops`` barrier bounds, single-step miss fallback), but
+    runs are handed to the engine's *vector* closure
+    (:meth:`~repro.schemes.base.ProtocolEngine.make_vector_access`),
+    which executes whole pure-L1-hit spans as numpy array operations —
+    ``searchsorted`` membership/writability oracles over a sorted L1
+    snapshot, ``gap_prefix`` completion times truncated at the
+    scheduling limit with one binary search, and an exact vectorized
+    LRU replay — instead of a per-record Python loop.  Replica hits and
+    local-home read hits are serviced per record inside the same
+    closure, so replica-heavy phases still batch end to end.
+
+    The columnar representation only pays off on long spans: per span
+    there is fixed numpy dispatch overhead, so in lockstep regimes
+    (every run cut short by the scheduler) the batched — or even the
+    fast — kernel wins.  :func:`choose_kernel` encodes that boundary.
+    When the engine declines the vector closure (fractional gaps, no
+    batching support), the whole run falls back to the batched kernel.
+    """
+
+    name = "vector"
+
+    def _make_run_service(self, engine: "ProtocolEngine", charge_gaps: bool):
+        maker = getattr(engine, "make_vector_access", None)
+        return maker(charge_gaps=charge_gaps) if maker is not None else None
+
+    def _fallback_run(self, engine: "ProtocolEngine", traces: "TraceSet") -> None:
+        # A fresh instance, not super().run(): the inherited run() would
+        # re-dispatch through this class's _make_run_service and recurse.
+        BatchedKernel(perturb_seed=self.perturb_seed).run(engine, traces)
+
+
 #: Registered kernels by name (extension point for future accelerated cores).
 KERNELS: dict[str, type[SimulationKernel]] = {
     ReferenceKernel.name: ReferenceKernel,
     FastKernel.name: FastKernel,
     BatchedKernel.name: BatchedKernel,
+    VectorKernel.name: VectorKernel,
 }
 
 #: Kernel used when the caller does not choose one.  The fast kernel is
@@ -515,9 +573,40 @@ AUTO_MIN_IMBALANCE = 1.10
 #: the paper optimizes) should reach the batched kernel sooner.
 AUTO_MIN_SEGMENT_LENGTH_REPLICA = 32.0
 
+#: Segment threshold above which a batched pick upgrades to the vector
+#: kernel.  Vector spans carry fixed numpy dispatch overhead per span
+#: (snapshot, searchsorted oracle, LRU replay), repaid only when
+#: uninterrupted same-core spans can grow to hundreds of records —
+#: i.e. when barrier segments are far longer than the batched kernel's
+#: own amortization point.  Below it the per-record batched closure is
+#: cheaper.  Throughput heuristic only: both kernels are bit-identical.
+AUTO_MIN_SEGMENT_LENGTH_VECTOR = 256.0
+
+
+def _batched_or_vector(
+    decoded: "list", engine: "ProtocolEngine | None", mean_segment: float
+) -> str:
+    """Tie-break a batched pick: upgrade to vector when spans can pay.
+
+    Requires (a) segments long enough for array-at-a-time spans to
+    amortize their per-span numpy overhead, (b) integral gaps (fractional
+    gaps make the vector closure decline and fall back to batched
+    wholesale — picking it would only add a wasted probe), and (c) an
+    engine that actually vectorizes spans (``supports_vector_spans``).
+    """
+    if mean_segment < AUTO_MIN_SEGMENT_LENGTH_VECTOR:
+        return BatchedKernel.name
+    if not all(d.gaps_integral for d in decoded):
+        return BatchedKernel.name
+    # getattr: engine stubs (tests) need not implement the probe.
+    supports = getattr(engine, "supports_vector_spans", None)
+    if supports is not None and supports():
+        return VectorKernel.name
+    return BatchedKernel.name
+
 
 def choose_kernel(traces: "TraceSet", engine: "ProtocolEngine | None" = None) -> str:
-    """Pick ``fast`` vs ``batched`` from the trace's run-length structure.
+    """Pick ``fast``/``batched``/``vector`` from the trace's structure.
 
     Probes the same barrier structure the batched kernel's ``run_stops``
     boundaries encode (via the vectorized ``DecodedTrace.barrier_count``
@@ -556,12 +645,12 @@ def choose_kernel(traces: "TraceSet", engine: "ProtocolEngine | None" = None) ->
         # A single active core owns the scheduler outright once the idle
         # cores drain at time zero — the longest possible runs, with no
         # imbalance to measure.
-        return BatchedKernel.name
+        return _batched_or_vector(decoded, engine, mean_segment)
     weights = [d.length + d.compute_cycles for d in decoded]
     mean_weight = sum(weights) / len(weights)
     imbalance = max(weights) / mean_weight if mean_weight else 1.0
     if imbalance >= AUTO_MIN_IMBALANCE:
-        return BatchedKernel.name
+        return _batched_or_vector(decoded, engine, mean_segment)
     return FastKernel.name
 
 

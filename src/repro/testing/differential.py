@@ -312,9 +312,9 @@ def verify_all_kernels(
     """Verify every registered kernel against the reference in one call.
 
     ``candidates`` defaults to all registered kernels except
-    ``reference`` (currently ``fast`` and ``batched``), making this the
-    three-way check the fuzzing CLI and nightly CI drive.  Returns the
-    reference stats on success.
+    ``reference`` (currently ``fast``, ``batched`` and ``vector``),
+    making this the four-way check the fuzzing CLI and nightly CI
+    drive.  Returns the reference stats on success.
     """
     if candidates is None:
         candidates = [name for name in kernel_names() if name != reference]

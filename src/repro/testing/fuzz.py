@@ -38,8 +38,13 @@ from repro.testing.differential import DifferentialMismatch, verify_all_kernels
 from repro.workloads.benchmarks import BenchmarkProfile, build_trace
 from repro.workloads.trace import CoreTrace, TraceSet
 
-#: Schemes the fuzzer samples from (every engine family, several RTs).
-FUZZ_SCHEMES = ("S-NUCA", "R-NUCA", "VR", "ASR", "RT-1", "RT-2", "RT-3", "RT-8")
+#: Schemes the fuzzer samples from (every engine family, several RTs,
+#: plus the adaptive locality scheme — the only engine that qualifies
+#: for the vector kernel's inline local-home service, so its spans must
+#: be fuzzed too).
+FUZZ_SCHEMES = (
+    "S-NUCA", "R-NUCA", "VR", "ASR", "RT-1", "RT-2", "RT-3", "RT-8", "Locality",
+)
 
 _PATTERNS = ("loop", "zipf", "stream")
 

@@ -63,7 +63,8 @@ class DecodedTrace:
 
     __slots__ = (
         "atypes", "lines", "gaps", "length", "compute_cycles", "gaps_integral",
-        "_types_array", "_gaps_array", "_run_stops", "_gap_prefix",
+        "_types_array", "_gaps_array", "_lines_array", "_run_stops",
+        "_gap_prefix",
     )
 
     def __init__(self, trace: "CoreTrace") -> None:
@@ -83,6 +84,7 @@ class DecodedTrace:
         # while this decoded view is cached (see CoreTrace.decoded).
         self._types_array = trace.types
         self._gaps_array = trace.gaps
+        self._lines_array = trace.lines
         self._run_stops: list[int] | None = None
         self._gap_prefix: np.ndarray | None = None
 
@@ -102,6 +104,25 @@ class DecodedTrace:
             ].tolist()
             self._run_stops = stops
         return stops
+
+    @property
+    def types_array(self) -> np.ndarray:
+        """Raw ``uint8`` access-type codes (columnar view for the vector
+        kernel's span oracles; frozen while the decoded view is cached)."""
+        return self._types_array
+
+    @property
+    def lines_array(self) -> np.ndarray:
+        """Raw ``int64`` line addresses (columnar view for the vector
+        kernel's span oracles; frozen while the decoded view is cached)."""
+        return self._lines_array
+
+    @property
+    def gaps_array(self) -> np.ndarray:
+        """Raw per-record gaps (columnar view for the vector kernel's
+        exact clock replay; frozen while the decoded view is cached).
+        May carry an integer dtype — widening to float64 is exact."""
+        return self._gaps_array
 
     @property
     def gap_prefix(self) -> np.ndarray:

@@ -122,6 +122,90 @@ class FixedLatencyEngine:
 
         return run_hits
 
+    def make_vector_access(self, charge_gaps: bool = False):
+        """Array-at-a-time entry point mirroring
+        :meth:`repro.schemes.base.ProtocolEngine.make_vector_access`:
+        spans of plain fixed-latency hits are planned and timed in bulk
+        (the same interleaved-increment ``np.cumsum`` clock replay the
+        real engine uses, so issue timestamps stay bit-exact), while
+        replica hits and refused lines delegate to the batched closure
+        and the kernel's single-stepping.  Declines ``charge_gaps`` like
+        the real engine (per-record fractional Compute accumulation is
+        order-observable)."""
+        if charge_gaps:
+            return None
+        run_hits = self.make_batched_access(charge_gaps=False)
+        from repro.sim import stats as stat_names
+
+        latency = self.latency
+        miss_lines = self.batch_miss_lines
+        replica_lines = self.replica_lines
+        calls = self.calls
+        miss_status = self.stats.miss_status
+        latency_buckets = self.stats.latency
+        COMPUTE = stat_names.COMPUTE
+        L1_HIT = MissStatus.L1_HIT
+
+        def run_vector(core, decoded, index, stop, now, limit, strict):
+            atypes = decoded.atypes
+            lines = decoded.lines
+            gaps_arr = decoded.gaps_array
+            gap_prefix = decoded.gap_prefix
+            while True:
+                n_hits = 0
+                probe = index
+                while probe < stop:
+                    line_addr = lines[probe]
+                    if line_addr in miss_lines or line_addr in replica_lines:
+                        break
+                    probe += 1
+                    n_hits += 1
+                if n_hits:
+                    incr = np.empty(2 * n_hits + 1, dtype=np.float64)
+                    incr[0] = now
+                    incr[1::2] = gaps_arr[index : index + n_hits]
+                    incr[2::2] = latency
+                    chain = np.cumsum(incr)
+                    t = chain[2::2]
+                    issues = chain[1::2]
+                    k = int(np.searchsorted(t, limit, "right" if strict else "left"))
+                    if k < n_hits:
+                        n = k + 1
+                        yielded = True
+                    else:
+                        n = n_hits
+                        yielded = False
+                    for i in range(n):
+                        calls.append(
+                            (
+                                core,
+                                int(atypes[index + i]),
+                                lines[index + i],
+                                float(issues[i]),
+                            )
+                        )
+                    run_gaps = float(gap_prefix[index + n] - gap_prefix[index])
+                    if run_gaps:
+                        latency_buckets[COMPUTE] += run_gaps
+                    miss_status[L1_HIT] += n
+                    index += n
+                    now = float(t[n - 1])
+                    if yielded:
+                        return index, now, True
+                    if index >= stop:
+                        return index, now, False
+                new_index, now, yielded = run_hits(
+                    core, decoded, index, stop, now, limit, strict
+                )
+                progressed = new_index != index
+                index = new_index
+                if yielded:
+                    return index, now, True
+                if index >= stop or not progressed:
+                    return index, now, False
+
+        return run_vector
+
     def finalize(self) -> None:
         pass
 

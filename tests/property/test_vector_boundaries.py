@@ -1,0 +1,245 @@
+"""Vector-kernel boundary properties, isolated via the stub engine.
+
+The vector kernel services array-at-a-time spans of hit records, but it
+must respect exactly the boundaries the batched kernel does: the next
+barrier record (``run_stops``), the scheduling limit (the heap-front
+core would become globally earliest), and any record the engine refuses
+to vectorize (which delegates to the batched closure, then to
+single-stepping).  With the fixed-latency stub every event time is
+exactly computable and every dispatched access is logged, so a span
+that crosses a boundary — or reconciles its statistics flush against
+the wrong record range — shows up as a diverging call sequence or
+statistic against the reference kernel.
+
+The stub's spans replay the clock with the same interleaved-increment
+``np.cumsum`` the real engine uses, so these properties also pin the
+bit-exactness of the vectorized time chain (including fractional
+``now`` values left behind by odd latencies).  A final property runs
+the real protocol engine on write-heavy traces, covering the span
+commit's MODIFIED/dirty transitions and the dirty-eviction fold-in on
+the runs between spans.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import AccessType
+from repro.sim.kernel import VectorKernel
+from repro.sim.simulator import simulate
+from tests.helpers import FixedLatencyEngine, records_trace_set
+
+NUM_CORES = 4
+
+_gap_lists = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=0, max_size=10
+)
+
+_long_gap_lists = st.lists(
+    st.integers(min_value=0, max_value=6), min_size=30, max_size=80
+)
+
+
+def _records(gaps, base_line=0):
+    return [(AccessType.READ, base_line + i, gap) for i, gap in enumerate(gaps)]
+
+
+def _run_pair(traces, **engine_kwargs):
+    engines = {}
+    for kernel in ("reference", "vector"):
+        engine = FixedLatencyEngine(NUM_CORES, **engine_kwargs)
+        simulate(engine, traces, kernel=kernel)
+        engines[kernel] = engine
+    return engines["reference"], engines["vector"]
+
+
+class TestVectorBoundaries:
+    @given(
+        per_core_gaps=st.lists(_gap_lists, min_size=NUM_CORES, max_size=NUM_CORES),
+        barrier_positions=st.lists(
+            st.integers(min_value=0, max_value=10), min_size=0, max_size=3
+        ),
+        latency=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_barriers_and_earliest_switches_are_never_crossed(
+        self, per_core_gaps, barrier_positions, latency
+    ):
+        """Spans dispatch the exact reference event sequence — same
+        accesses, same order, same issue timestamps — for arbitrary gap
+        programs and barrier placements (segment boundaries)."""
+        per_core = []
+        for core, gaps in enumerate(per_core_gaps):
+            records = _records(gaps, base_line=100 * core)
+            for offset, position in enumerate(sorted(barrier_positions)):
+                records.insert(
+                    min(position + offset, len(records)),
+                    (AccessType.BARRIER, 0, 0),
+                )
+            per_core.append(records)
+        traces = records_trace_set(per_core)
+        reference, vector = _run_pair(traces, latency=float(latency))
+        assert reference.calls == vector.calls
+        assert reference.stats.core_finish == vector.stats.core_finish
+        assert reference.stats.latency == vector.stats.latency
+        assert reference.stats.miss_status == vector.stats.miss_status
+
+    @given(
+        per_core_gaps=st.lists(_gap_lists, min_size=NUM_CORES, max_size=NUM_CORES),
+        miss_modulus=st.integers(min_value=2, max_value=5),
+        latency=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_refused_records_end_spans_and_single_step(
+        self, per_core_gaps, miss_modulus, latency
+    ):
+        """Records the engine refuses (stub: every line ≡ 0 mod
+        ``miss_modulus``) end the span exactly there and single-step
+        through access() at the reference timestamps."""
+        per_core = [
+            _records(gaps, base_line=100 * core)
+            for core, gaps in enumerate(per_core_gaps)
+        ]
+        traces = records_trace_set(per_core)
+        miss_lines = frozenset(
+            line
+            for records in per_core
+            for _atype, line, _gap in records
+            if line % miss_modulus == 0
+        )
+        reference, vector = _run_pair(
+            traces, latency=float(latency), batch_miss_lines=miss_lines
+        )
+        assert reference.calls == vector.calls
+        assert reference.stats.latency == vector.stats.latency
+
+    @given(
+        gaps=_long_gap_lists,
+        latency=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lone_core_services_whole_trace_in_spans(self, gaps, latency):
+        """With every other core empty the scheduling limit is infinite
+        (the span planner's no-truncation fast path) and the only
+        boundaries left are barriers/end-of-trace — the solo core's
+        events and finish time must still match the reference."""
+        per_core = [_records(gaps)] + [[] for _ in range(NUM_CORES - 1)]
+        traces = records_trace_set(per_core)
+        reference, vector = _run_pair(traces, latency=float(latency))
+        assert reference.calls == vector.calls
+        assert reference.stats.core_finish == vector.stats.core_finish
+
+    @given(
+        per_core_gaps=st.lists(_gap_lists, min_size=NUM_CORES, max_size=NUM_CORES),
+        replica_modulus=st.integers(min_value=2, max_value=5),
+        latency=st.integers(min_value=1, max_value=9),
+        replica_latency=st.integers(min_value=2, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_replica_hits_delegate_to_the_batched_closure(
+        self, per_core_gaps, replica_modulus, latency, replica_latency
+    ):
+        """Replica hits are not span material — they delegate to the
+        batched closure mid-stream, and the combined statistics flush
+        (span L1 hits + delegated replica hits) must reconcile to the
+        reference totals with the same yield points."""
+        per_core = [
+            _records(gaps, base_line=100 * core)
+            for core, gaps in enumerate(per_core_gaps)
+        ]
+        traces = records_trace_set(per_core)
+        replica_lines = frozenset(
+            line
+            for records in per_core
+            for _atype, line, _gap in records
+            if line % replica_modulus == 0
+        )
+        reference, vector = _run_pair(
+            traces,
+            latency=float(latency),
+            replica_lines=replica_lines,
+            replica_latency=float(replica_latency),
+        )
+        assert reference.calls == vector.calls
+        assert reference.stats.core_finish == vector.stats.core_finish
+        assert reference.stats.latency == vector.stats.latency
+        assert reference.stats.miss_status == vector.stats.miss_status
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        write_share=st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_real_engine_spans_commit_writes_and_dirty_evictions(
+        self, seed, write_share
+    ):
+        """Real-engine property: write-heavy traces over a working set
+        slightly larger than the L1 exercise the span commit's
+        MODIFIED/dirty transitions and the dirty-eviction fold-in on
+        the miss runs between spans — full SimStats must stay
+        bit-identical to the reference."""
+        import numpy as np
+
+        from repro.common.params import MachineConfig
+        from repro.schemes.factory import make_scheme
+        from repro.testing.differential import assert_stats_equal
+
+        config = MachineConfig.tiny()
+        rng = np.random.default_rng(seed)
+        hot_lines = max(4, config.l1d.lines // 2)  # fits: span material
+        overflow_lines = config.l1d.lines + config.l1d.ways  # evicts
+        per_core = []
+        for core in range(config.num_cores):
+            records = []
+            for _block in range(3):
+                # Hot sweep: pure L1 hits after warmup, long enough for
+                # the real engine's minimum span, with writes dirtying
+                # lines in-span.
+                for i in range(60):
+                    line = 512 * core + i % hot_lines
+                    atype = (
+                        AccessType.WRITE
+                        if rng.random() < write_share
+                        else AccessType.READ
+                    )
+                    records.append((atype, line, int(rng.integers(0, 2))))
+                # Overflow churn: conflict misses evict dirty hot lines,
+                # folding dirty evictions into the runs between spans.
+                for _ in range(25):
+                    line = 512 * core + int(rng.integers(0, overflow_lines))
+                    atype = (
+                        AccessType.WRITE
+                        if rng.random() < write_share
+                        else AccessType.READ
+                    )
+                    records.append((atype, line, int(rng.integers(0, 3))))
+            per_core.append(records)
+        traces = records_trace_set(per_core)
+        baseline = simulate(
+            make_scheme("Locality", config), traces, kernel="reference"
+        )
+        vector = simulate(make_scheme("Locality", config), traces, kernel="vector")
+        assert_stats_equal(baseline, vector, context="write-heavy vector spans")
+
+    def test_vector_kernel_actually_vectorizes_on_the_stub(self):
+        """Meta-test: the stub engages the vector closure with full-run
+        spans (the kernel must not silently fall back to batched) —
+        a solo core with an empty heap spans all records at once."""
+        engine = FixedLatencyEngine(NUM_CORES, latency=2.0)
+        closure_calls = []
+        original = engine.make_vector_access
+
+        def counting_maker(charge_gaps=False):
+            run_vector = original(charge_gaps=charge_gaps)
+
+            def wrapped(*args):
+                closure_calls.append(args[2:4])  # (index, stop)
+                return run_vector(*args)
+
+            return wrapped
+
+        engine.make_vector_access = counting_maker
+        per_core = [_records([0] * 50)] + [[] for _ in range(NUM_CORES - 1)]
+        simulate(engine, records_trace_set(per_core), kernel=VectorKernel())
+        assert any(stop - index >= 49 for index, stop in closure_calls)

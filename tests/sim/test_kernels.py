@@ -14,6 +14,7 @@ from repro.sim.kernel import (
     FastKernel,
     ReferenceKernel,
     SimulationKernel,
+    VectorKernel,
     kernel_names,
     resolve_kernel,
 )
@@ -32,15 +33,17 @@ def traces_small(request):
 
 class TestKernelResolution:
     def test_registry_contains_all_kernels(self):
-        assert set(kernel_names()) == {"reference", "fast", "batched"}
+        assert set(kernel_names()) == {"reference", "fast", "batched", "vector"}
         assert KERNELS["fast"] is FastKernel
         assert KERNELS["batched"] is BatchedKernel
+        assert KERNELS["vector"] is VectorKernel
         assert DEFAULT_KERNEL == "fast"
 
     def test_resolve_by_name(self):
         assert isinstance(resolve_kernel("reference"), ReferenceKernel)
         assert isinstance(resolve_kernel("fast"), FastKernel)
         assert isinstance(resolve_kernel("batched"), BatchedKernel)
+        assert isinstance(resolve_kernel("vector"), VectorKernel)
 
     def test_resolve_passes_instances_through(self):
         kernel = FastKernel(perturb_seed=3)
@@ -116,7 +119,7 @@ class TestDecodedTraces:
 
 
 class TestFractionalGaps:
-    @pytest.mark.parametrize("kernel", ["fast", "batched"])
+    @pytest.mark.parametrize("kernel", ["fast", "batched", "vector"])
     def test_fractional_gaps_stay_bit_identical(self, kernel):
         """Non-integer gaps disable batched Compute charging; the
         optimized kernels must match the reference's per-record
@@ -308,11 +311,61 @@ class TestBatchedAccessSpecialization:
         assert batched.completion_time == batched.core_finish[0] > 0
 
 
+class TestVectorAccessSpecialization:
+    def test_base_schemes_provide_vector_access(self, traces_small):
+        config, _traces = traces_small
+        for scheme in ("S-NUCA", "R-NUCA", "VR", "ASR", "RT-3", "Locality"):
+            engine = make_scheme(scheme, config)
+            assert engine.make_vector_access() is not None, scheme
+            assert engine.supports_vector_spans(), scheme
+
+    def test_charge_gaps_declines_vectorization(self, traces_small):
+        """Fractional per-record Compute charging is order-observable —
+        the vector closure declines and the kernel falls back to
+        batched wholesale (which falls back to per-record charging)."""
+        config, _traces = traces_small
+        engine = make_scheme("S-NUCA", config)
+        assert engine.make_vector_access(charge_gaps=True) is None
+
+    def test_access_override_disables_vectorization_but_stays_exact(
+        self, traces_small
+    ):
+        config, traces = traces_small
+
+        class LoggingSNuca(SNucaScheme):
+            def __init__(self, cfg):
+                super().__init__(cfg)
+                self.seen = 0
+
+            def access(self, core, atype, line_addr, now):
+                self.seen += 1
+                return super().access(core, atype, line_addr, now)
+
+        assert LoggingSNuca(config).make_vector_access() is None
+        assert not LoggingSNuca(config).supports_vector_spans()
+        override_engine = LoggingSNuca(config)
+        overridden = simulate(override_engine, traces, kernel="vector")
+        assert override_engine.seen == traces.total_accesses()
+        baseline = simulate(SNucaScheme(config), traces, kernel="reference")
+        assert_stats_equal(baseline, overridden, context="vector override fallback")
+
+    def test_vector_kernel_matches_reference_on_benchmark_trace(
+        self, traces_small
+    ):
+        config, traces = traces_small
+        for scheme in ("S-NUCA", "RT-3", "Locality"):
+            baseline = simulate(
+                make_scheme(scheme, config), traces, kernel="reference"
+            )
+            vector = simulate(make_scheme(scheme, config), traces, kernel="vector")
+            assert_stats_equal(baseline, vector, context=f"vector {scheme}")
+
+
 class TestPerturbation:
     def test_perturbed_kernels_match_baseline(self, traces_small):
         config, traces = traces_small
         baseline = simulate(make_scheme("RT-3", config), traces, kernel="fast")
-        for kernel_cls in (ReferenceKernel, FastKernel, BatchedKernel):
+        for kernel_cls in (ReferenceKernel, FastKernel, BatchedKernel, VectorKernel):
             perturbed = simulate(
                 make_scheme("RT-3", config),
                 traces,
@@ -467,6 +520,87 @@ class TestAutoKernelSelection:
             make_scheme("RT-3", config), traces, kernel="reference"
         )
         assert_stats_equal(ref_stats, auto_stats, context="auto kernel")
+
+    def test_segment_threshold_boundary_is_inclusive(self):
+        """Mean segment exactly at the threshold picks batched; one
+        record shorter picks fast (single active core, so only the
+        segment probe decides)."""
+        from repro.sim.kernel import AUTO_MIN_SEGMENT_LENGTH, choose_kernel
+
+        assert AUTO_MIN_SEGMENT_LENGTH == 64.0
+        assert choose_kernel(self._trace_set([64, 0, 0, 0])) == "batched"
+        assert choose_kernel(self._trace_set([63, 0, 0, 0])) == "fast"
+
+    def test_imbalance_threshold_boundary_is_inclusive(self):
+        """Imbalance exactly at the threshold engages batching.  Gaps
+        are zero, so the per-core weights are the record counts:
+        330 / mean(330, 290, 290, 290) is exactly 1.10."""
+        from repro.sim.kernel import AUTO_MIN_IMBALANCE, choose_kernel
+
+        assert AUTO_MIN_IMBALANCE == 1.10
+        assert choose_kernel(self._trace_set([330, 290, 290, 290])) == "batched"
+        # 329/300 ~ 1.097 < 1.10: same total work, straggler too mild.
+        assert choose_kernel(self._trace_set([329, 291, 290, 290])) == "fast"
+
+    def test_vector_threshold_boundary_is_inclusive(self):
+        """A batched pick upgrades to vector exactly at the span
+        threshold — given an engine that vectorizes spans."""
+        from repro.common.params import MachineConfig
+        from repro.sim.kernel import AUTO_MIN_SEGMENT_LENGTH_VECTOR, choose_kernel
+
+        assert AUTO_MIN_SEGMENT_LENGTH_VECTOR == 256.0
+        config = MachineConfig.small()
+        engine = make_scheme("Locality", config)
+        idle = [0] * (config.num_cores - 1)
+        assert choose_kernel(self._trace_set([256] + idle), engine) == "vector"
+        assert choose_kernel(self._trace_set([255] + idle), engine) == "batched"
+
+    def test_vector_needs_engine_span_support(self):
+        """Long segments without a span-capable engine stay batched:
+        no engine at all, and an engine whose access() override already
+        disables batching (and with it vector spans)."""
+        from repro.common.params import MachineConfig
+        from repro.sim.kernel import choose_kernel
+
+        config = MachineConfig.small()
+        idle = [0] * (config.num_cores - 1)
+        traces = self._trace_set([4000] + idle)
+        assert choose_kernel(traces) == "batched"
+
+        class LoggingSNuca(SNucaScheme):
+            def access(self, core, atype, line_addr, now):
+                return super().access(core, atype, line_addr, now)
+
+        assert choose_kernel(traces, LoggingSNuca(config)) == "batched"
+        assert choose_kernel(traces, make_scheme("S-NUCA", config)) == "vector"
+
+    def test_vector_needs_integral_gaps(self):
+        """Fractional gaps force per-record Compute accumulation — the
+        vector closure would decline, so auto keeps batched."""
+        import numpy as np
+
+        from repro.common.addr import Region
+        from repro.common.params import MachineConfig
+        from repro.common.types import LineClass
+        from repro.sim.kernel import choose_kernel
+        from repro.workloads.trace import CoreTrace, TraceSet
+
+        config = MachineConfig.small()
+        cores = []
+        for core in range(config.num_cores):
+            n = 400 if core == 0 else 0
+            cores.append(
+                CoreTrace(
+                    types=np.zeros(n, dtype=np.uint8),
+                    lines=np.arange(n, dtype=np.int64),
+                    gaps=np.full(n, 0.5),
+                )
+            )
+        traces = TraceSet(
+            "fractional", cores, [(Region(0, 4096), LineClass.PRIVATE)]
+        )
+        engine = make_scheme("Locality", config)
+        assert choose_kernel(traces, engine) == "batched"
 
     def test_environment_selects_auto(self, traces_small, monkeypatch):
         config, traces = traces_small
