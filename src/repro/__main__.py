@@ -1,12 +1,19 @@
-"""Top-level command-line entry point.
+"""Top-level command-line entry point — the single documented CLI surface.
 
 Usage::
 
     python -m repro trace import CAPTURE --out TRACE.npz [options]
     python -m repro trace inspect TRACE.npz
     python -m repro trace synthesize-fixture --format FMT --out CAPTURE [options]
-    python -m repro experiments ...     (forwarded to repro.experiments)
-    python -m repro testing ...         (forwarded to repro.testing)
+    python -m repro experiments ...     figures, tables, distributed service
+    python -m repro testing ...         kernel verification / fuzzing
+
+The ``experiments`` group (:mod:`repro.experiments.cli`) regenerates
+every figure and table, and hosts the distributed experiment service
+(``serve`` / ``work`` / ``store`` / ``--distributed N``); the
+``testing`` group (:mod:`repro.testing.cli`) differentially verifies
+the simulation kernels.  The old ``python -m repro.experiments`` and
+``python -m repro.testing`` spellings remain as deprecated forwarders.
 
 The ``trace`` group is the real-trace ingestion pipeline
 (:mod:`repro.workloads.imports`):
@@ -210,11 +217,11 @@ def main(argv: list[str] | None = None) -> int:
     # Forward the sibling CLIs so `python -m repro <group>` covers the
     # whole toolbox; their parsers own everything after the group name.
     if argv and argv[0] == "experiments":
-        from repro.experiments.__main__ import main as experiments_main
+        from repro.experiments.cli import main as experiments_main
 
         return experiments_main(argv[1:])
     if argv and argv[0] == "testing":
-        from repro.testing.__main__ import main as testing_main
+        from repro.testing.cli import main as testing_main
 
         return testing_main(argv[1:])
     args = build_parser().parse_args(argv)

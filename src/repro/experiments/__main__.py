@@ -1,141 +1,31 @@
-"""Command-line entry point: regenerate any figure or table.
+"""Deprecated forwarder: use ``python -m repro experiments`` instead.
 
-Usage::
-
-    python -m repro.experiments --list
-    python -m repro.experiments fig1 [options]
-    python -m repro.experiments fig6|fig7|fig8 [options]
-    python -m repro.experiments fig9|fig10|rt-sweep [options]
-    python -m repro.experiments replacement|oracle|tla [options]
-    python -m repro.experiments strategy|organization [options]
-    python -m repro.experiments breakdown --benchmarks BARNES [options]
-    python -m repro.experiments table1|table2|storage
-    python -m repro.experiments summary [options]
-    python -m repro.experiments all
-
-The subcommands are generated from the experiment registry
-(:mod:`repro.experiments.spec`); ``--list`` prints the catalog.
-
-Options::
-
-    --machine {small,paper}   machine configuration (default: small)
-    --scale FLOAT             trace-length multiplier (default: 1.0)
-    --seed INT                workload seed (default: 1)
-    --benchmarks A,B,C        restrict the benchmark list
-    --parallel N              shard RunPoints over N worker processes
-    --kernel {reference,fast,batched,auto}
-                              simulation kernel (default: fast; all are
-                              differentially verified bit-identical;
-                              ``auto`` probes each trace's run-length
-                              structure and picks fast vs batched)
-    --no-cache                skip the on-disk result store for this
-                              invocation (in-memory dedup still applies)
-
-Results are content-addressed in a JSON-on-disk
-:class:`~repro.experiments.store.ResultStore` (relocate or disable it
-with ``REPRO_RESULT_CACHE``), so ``all`` performs each unique (scheme,
-benchmark, config, seed, scale) simulation at most once and repeated
-invocations reuse prior runs; the hit/miss accounting is printed to
-stderr after every invocation.
-
-The default ``small`` machine (16 cores, scaled caches) regenerates the
-full figure suite in minutes; ``paper`` uses the Table 1 configuration
-(64 cores) and is proportionally slower.
+The experiments CLI implementation lives in
+:mod:`repro.experiments.cli`; this module re-exports its surface so
+existing imports (and ``python -m repro.experiments`` invocations) keep
+working, with a pointer to the unified entry point printed on direct
+execution.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
 
-from repro.common.params import MachineConfig
-from repro.experiments import spec as spec_registry
-from repro.experiments.runner import ExperimentSetup
-from repro.experiments.store import ResultStore
-from repro.sim.kernel import AUTO_KERNEL, kernel_names
-
-#: Registered commands plus the ``all`` expansion, in run order.
-COMMANDS = (*spec_registry.command_names(), "all")
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Regenerate the paper's figures and tables.",
-    )
-    parser.add_argument("command", nargs="?", choices=COMMANDS,
-                        help="experiment to run (see --list)")
-    parser.add_argument("--list", action="store_true", dest="list_commands",
-                        help="list the registered experiments and exit")
-    parser.add_argument("--machine", choices=("small", "paper"), default="small")
-    parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("--benchmarks", type=str, default=None,
-                        help="comma-separated benchmark names")
-    parser.add_argument("--parallel", type=int, default=0, metavar="N",
-                        help="shard each experiment grid's RunPoints over "
-                             "N worker processes (0 = sequential)")
-    parser.add_argument("--kernel", choices=(*kernel_names(), AUTO_KERNEL),
-                        default=None,
-                        help="simulation kernel (default: fast; all kernels "
-                             "are differentially verified bit-identical; "
-                             "'auto' picks fast vs batched per trace)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="do not read or write the on-disk result store "
-                             "(in-memory deduplication still applies)")
-    return parser
-
-
-def make_setup(args: argparse.Namespace) -> ExperimentSetup:
-    config = MachineConfig.paper() if args.machine == "paper" else MachineConfig.small()
-    return ExperimentSetup(config, scale=args.scale, seed=args.seed, kernel=args.kernel)
-
-
-def render_command_list() -> str:
-    """The ``--list`` catalog, generated from the registry."""
-    commands = spec_registry.registered_commands()
-    width = max(len(command.name) for command in commands)
-    lines = ["Registered experiments:"]
-    for command in commands:
-        kind = "grid" if command.is_grid else "report"
-        lines.append(f"  {command.name.ljust(width)}  [{kind:6s}] {command.description}")
-    lines.append(f"  {'all'.ljust(width)}  [meta  ] run every registered experiment")
-    return "\n".join(lines)
-
-
-def main(argv: list[str] | None = None, store: ResultStore | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.list_commands:
-        print(render_command_list())
-        return 0
-    if args.command is None:
-        parser.error("a command is required (or --list to see them)")
-    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
-    if benchmarks is not None:
-        try:
-            spec_registry.validate_benchmarks(benchmarks)
-        except ValueError as exc:
-            parser.error(str(exc))
-    setup = make_setup(args)
-    if store is None:
-        store = ResultStore.memory() if args.no_cache else ResultStore.from_env()
-    started = time.time()
-    for name in _expand(args.command):
-        command = spec_registry.get_command(name)
-        print(command.run(setup, benchmarks, store=store, max_workers=args.parallel))
-        print()
-    print(f"\n[{time.time() - started:.1f}s elapsed]", file=sys.stderr)
-    print(f"[{store.describe()}]", file=sys.stderr)
-    return 0
-
-
-def _expand(command: str) -> tuple[str, ...]:
-    if command != "all":
-        return (command,)
-    return spec_registry.command_names()
-
+from repro.experiments.cli import (  # noqa: F401  (compatibility re-exports)
+    COMMANDS,
+    _expand,
+    build_parser,
+    build_service_parser,
+    main,
+    make_setup,
+    render_command_list,
+    service_main,
+)
 
 if __name__ == "__main__":
+    print(
+        "note: 'python -m repro.experiments' is deprecated; "
+        "use 'python -m repro experiments'",
+        file=sys.stderr,
+    )
     raise SystemExit(main())

@@ -8,34 +8,90 @@ replication), matching the paper's vantage point.
 
 from __future__ import annotations
 
-from typing import Iterable
+import dataclasses
+from typing import TYPE_CHECKING, Iterable
 
 from repro.common.types import LineClass
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import ExperimentSetup
 from repro.experiments.spec import register_report, resolve_benchmarks
-from repro.sim.profiler import RUN_LENGTH_BUCKETS, RunLengthProfile, profile_run_lengths
+from repro.sim.profiler import (
+    PROFILE_VERSION,
+    RUN_LENGTH_BUCKETS,
+    RunLengthProfile,
+    decode_profile,
+    encode_profile,
+    profile_run_lengths,
+)
 from repro.workloads.benchmarks import BENCHMARK_ORDER
+from repro.workloads.imports import (
+    IMPORTED_PREFIX,
+    imported_trace_path,
+    is_imported_benchmark,
+    trace_content_hash,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.store import ResultStore
+
+
+def profile_fingerprint(benchmark: str, setup: ExperimentSetup) -> dict:
+    """Content address of one benchmark's run-length profile.
+
+    Mirrors :meth:`RunPoint.fingerprint`'s benchmark handling (imported
+    traces address by file content; catalog traces by name + scale +
+    seed) but carries a distinct ``kind`` and the profiler version, so
+    profile payloads can never collide with simulation results in the
+    shared store.  The kernel is excluded — profiling observes the
+    S-NUCA protocol stream, which every kernel replays bit-identically.
+    """
+    payload = {
+        "kind": "fig1-runlength",
+        "profile_version": PROFILE_VERSION,
+        "benchmark": benchmark,
+        "config": dataclasses.asdict(setup.config),
+        "scale": setup.scale,
+        "seed": setup.seed,
+    }
+    if is_imported_benchmark(benchmark):
+        path = imported_trace_path(benchmark)
+        payload["benchmark"] = f"{IMPORTED_PREFIX}sha256:{trace_content_hash(path)}"
+        payload["scale"] = None
+        payload["seed"] = None
+    return payload
 
 
 def run_fig1(
-    setup: ExperimentSetup, benchmarks: Iterable[str] | None = None
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    store: "ResultStore | None" = None,
 ) -> dict[str, RunLengthProfile]:
-    """Profile run lengths for each benchmark.
+    """Profile run lengths for each benchmark, caching via ``store``.
 
     Profiling runs produce :class:`RunLengthProfile`s, not
     :class:`RunResult`s, so Figure 1 is a registered *report* command
-    rather than an ExperimentSpec grid (the ResultStore only holds
-    simulation statistics).
+    rather than an ExperimentSpec grid — but its profiles are cached in
+    the same content-addressed store as simulation results (as raw
+    payload dicts under :func:`profile_fingerprint` addresses), so
+    repeated ``fig1`` invocations re-profile nothing.
     """
     bench_list = resolve_benchmarks(benchmarks, BENCHMARK_ORDER)
     profiles: dict[str, RunLengthProfile] = {}
     for benchmark in bench_list:
+        key = None
+        if store is not None:
+            key = store.key_for(profile_fingerprint(benchmark, setup))
+            cached = store.get_payload(key)
+            profile = decode_profile(cached) if cached is not None else None
+            if profile is not None:
+                profiles[benchmark] = profile
+                continue
         traces = setup.trace_for(benchmark)
-        profiles[benchmark] = profile_run_lengths(
-            setup.config, traces, kernel=setup.kernel
-        )
+        profile = profile_run_lengths(setup.config, traces, kernel=setup.kernel)
         setup.release_decoded(benchmark)
+        if store is not None and key is not None:
+            store.put_payload(key, encode_profile(profile))
+        profiles[benchmark] = profile
     return profiles
 
 
@@ -72,5 +128,9 @@ def _short(line_class: LineClass) -> str:
 @register_report(
     "fig1", "Figure 1: LLC access distribution by data class and run-length"
 )
-def _report(setup: ExperimentSetup, benchmarks: Iterable[str] | None = None) -> str:
-    return render_fig1(run_fig1(setup, benchmarks))
+def _report(
+    setup: ExperimentSetup,
+    benchmarks: Iterable[str] | None = None,
+    store: "ResultStore | None" = None,
+) -> str:
+    return render_fig1(run_fig1(setup, benchmarks, store=store))

@@ -10,11 +10,12 @@ boundary except the result statistics.
 The parallel path executes the same
 :class:`~repro.experiments.spec.ExperimentSpec` grids the sequential
 executor does: :func:`execute_spec_parallel` checks the
-:class:`~repro.experiments.store.ResultStore` first, shards only the
-*missed* RunPoints into picklable :class:`RunSpec` units, and reduces
-ASR's replication-level search on collection — identical semantics and
-bit-identical results.  A future work-queue backend only has to consume
-the same ``RunSpec`` stream.
+:class:`~repro.experiments.store.ResultStore` first
+(:func:`scan_spec_misses` — shared with the distributed broker in
+:mod:`repro.experiments.service`), shards only the *missed* RunPoints
+into picklable :class:`RunSpec` units, and reduces ASR's
+replication-level search on collection — identical semantics and
+bit-identical results.
 """
 
 from __future__ import annotations
@@ -115,6 +116,42 @@ def point_run_specs(
     ]
 
 
+def scan_spec_misses(
+    spec: "ExperimentSpec",
+    setup: ExperimentSetup,
+    store: "ResultStore",
+) -> "tuple[dict, list[tuple[str, list]]]":
+    """Split a spec into store-served results and missed point groups.
+
+    Returns ``(results, missed)`` where ``results`` maps store-served
+    RunPoints to their results and ``missed`` lists, in first-appearance
+    order, ``(content address, [points sharing it])`` for every address
+    that has to be simulated.  Duplicate same-address points are counted
+    as hits up front (mirroring the sequential path, which would hit
+    once the first of them is stored), so accounting is identical across
+    the sequential, process-pool and distributed executors — all three
+    build on this scan.
+    """
+    results: dict = {}
+    order: list[str] = []
+    groups: dict = {}
+    for point in spec.points:
+        key = store.key_for(point.fingerprint(setup))
+        if key in groups:
+            # Same content address already pending: don't simulate it
+            # twice (mirrors the sequential path, which would hit here).
+            groups[key].append(point)
+            store.record_hit()
+            continue
+        cached = store.get(key)
+        if cached is not None:
+            results[point] = cached
+            continue
+        groups[key] = [point]
+        order.append(key)
+    return results, [(key, groups[key]) for key in order]
+
+
 def execute_spec_parallel(
     spec: "ExperimentSpec",
     setup: ExperimentSetup,
@@ -127,35 +164,22 @@ def execute_spec_parallel(
     are sharded across the pool, and every fresh result is written back
     to the store.
     """
-    results: dict = {}
-    pending: list[tuple] = []  # (first point, key, spec count)
-    pending_points: dict = {}  # key -> other points sharing that address
+    results, missed = scan_spec_misses(spec, setup, store)
+    pending: list[tuple] = []  # (key, points, spec count)
     work: list[RunSpec] = []
-    for point in spec.points:
-        key = store.key_for(point.fingerprint(setup))
-        if key in pending_points:
-            # Same content address already in flight: don't simulate it
-            # twice (mirrors the sequential path, which would hit here).
-            pending_points[key].append(point)
-            store.record_hit()
-            continue
-        cached = store.get(key)
-        if cached is not None:
-            results[point] = cached
-            continue
-        expansion = point_run_specs(point, setup)
-        pending.append((point, key, len(expansion)))
-        pending_points[key] = [point]
+    for key, points in missed:
+        expansion = point_run_specs(points[0], setup)
+        pending.append((key, points, len(expansion)))
         work.extend(expansion)
 
     outputs = run_specs(work, max_workers=max_workers)
     cursor = 0
-    for point, key, count in pending:
+    for key, points, count in pending:
         candidates = outputs[cursor:cursor + count]
         cursor += count
         result = candidates[0] if count == 1 else min(candidates, key=_edp)
         store.put(key, result)
-        for shared_point in pending_points[key]:
+        for shared_point in points:
             results[shared_point] = result
 
     # Preserve the spec's point order in the result set.

@@ -1,0 +1,54 @@
+"""Distributed experiment service: broker, leased work queue, workers.
+
+Shared-nothing scale-out for experiment grids.  A *broker*
+(:func:`execute_spec_distributed`) leases a grid's store-missed
+RunPoints onto a shared-filesystem :class:`WorkQueue`; *workers*
+(:class:`Worker`, ``python -m repro experiments work``) on any machine
+mounting the queue pull leases, simulate, and commit results through a
+shared :class:`~repro.experiments.store.ResultStore`; the broker
+collects by content address, so the grid is bit-identical to a
+sequential run.
+
+Built for crash tolerance (leases expire → requeue → bounded retry with
+backoff; a killed worker loses nothing) and skew (fingerprint-sharded
+queues with work-stealing, because ASR search points run far longer
+than fixed points).  See the module docstrings of
+:mod:`~repro.experiments.service.queue`,
+:mod:`~repro.experiments.service.worker` and
+:mod:`~repro.experiments.service.broker` for the protocol details, and
+the README's "Distributed runs" section for the CLI quickstart::
+
+    python -m repro experiments serve fig6 --queue /mnt/shared/q ...
+    python -m repro experiments work --queue /mnt/shared/q ...
+    python -m repro experiments fig6 --distributed 4 ...
+"""
+
+from repro.experiments.service.broker import (
+    DistributedRunError,
+    execute_spec_distributed,
+    launch_local_workers,
+    make_distributed_executor,
+)
+from repro.experiments.service.queue import (
+    Lease,
+    QueueConfig,
+    QueueError,
+    WorkQueue,
+)
+from repro.experiments.service.tasks import PointTask, TaskDecodeError
+from repro.experiments.service.worker import Worker, WorkerStats
+
+__all__ = [
+    "DistributedRunError",
+    "Lease",
+    "PointTask",
+    "QueueConfig",
+    "QueueError",
+    "TaskDecodeError",
+    "WorkQueue",
+    "Worker",
+    "WorkerStats",
+    "execute_spec_distributed",
+    "launch_local_workers",
+    "make_distributed_executor",
+]

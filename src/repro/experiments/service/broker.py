@@ -1,0 +1,258 @@
+"""Broker: lease out a grid's store-missed RunPoints and collect results.
+
+:func:`execute_spec_distributed` is the distributed twin of
+:func:`repro.experiments.spec.execute_spec` and
+:func:`repro.experiments.parallel.execute_spec_parallel`, and shares
+their miss-scan (:func:`repro.experiments.parallel.scan_spec_misses`)
+so the semantics — store-served points never simulate, same-address
+points dedup, hit/miss accounting — are identical.  Only the execution
+substrate differs: missed points become :class:`PointTask` leases on a
+shared-filesystem :class:`WorkQueue`, served by worker processes on any
+machine that mounts the queue and the shared store.
+
+The broker never executes simulations itself.  Its loop is pure
+supervision: reap expired leases (crash recovery), surface exhausted
+retries as :class:`DistributedRunError` (carrying the worker's recorded
+traceback), and collect each point's result from the shared store the
+moment a worker commits it.  Because results are collected from the
+store by content address, a grid completes **bit-identical to the
+sequential runner** no matter how work was distributed, retried, stolen
+or duplicated along the way.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.experiments.parallel import scan_spec_misses
+from repro.experiments.results import ResultSet
+from repro.experiments.runner import ExperimentSetup
+from repro.experiments.service.queue import WorkQueue
+from repro.experiments.service.tasks import PointTask
+from repro.experiments.store import ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.spec import ExperimentSpec
+
+
+class DistributedRunError(RuntimeError):
+    """A grid could not complete (exhausted retries, timeout, no workers)."""
+
+
+def _require_shared_store(store: ResultStore) -> None:
+    if store.root is None or not getattr(store.backend, "persistent", False):
+        raise ValueError(
+            "distributed execution needs a disk-backed shared ResultStore "
+            "(workers commit results through it); pass ResultStore(<dir>) / "
+            "ResultStore.shared(<dir>) or set REPRO_RESULT_CACHE — "
+            "--no-cache cannot be distributed"
+        )
+
+
+def execute_spec_distributed(
+    spec: "ExperimentSpec",
+    setup: ExperimentSetup,
+    store: ResultStore,
+    queue_root: "Path | str",
+    *,
+    workers: int = 0,
+    num_shards: "int | None" = None,
+    lease_ttl: float = 60.0,
+    max_attempts: int = 3,
+    retry_backoff: float = 0.5,
+    poll_interval: float = 0.05,
+    timeout: "float | None" = None,
+    stop_when_done: bool = True,
+    log: "Callable[[str], None] | None" = None,
+) -> ResultSet:
+    """Run a spec's missed points through broker + workers → ResultSet.
+
+    ``workers > 0`` launches that many local worker subprocesses bound
+    to this queue (the ``--distributed N`` path); ``workers == 0``
+    relies on externally launched workers (``python -m repro
+    experiments work --queue ...``) attaching to ``queue_root``, which
+    may live on a network mount shared across machines.
+
+    Crash-tolerance contract: a worker killed mid-lease loses nothing —
+    its lease expires, the point is requeued (bounded by
+    ``max_attempts`` with exponential backoff), and the grid completes
+    bit-identical to a sequential run.  A point whose retries are
+    exhausted raises :class:`DistributedRunError` carrying the worker's
+    recorded error.
+    """
+    _require_shared_store(store)
+    results, missed = scan_spec_misses(spec, setup, store)
+    if missed:
+        _serve_missed(
+            spec, setup, store, Path(queue_root), results, missed,
+            workers=workers, num_shards=num_shards, lease_ttl=lease_ttl,
+            max_attempts=max_attempts, retry_backoff=retry_backoff,
+            poll_interval=poll_interval, timeout=timeout,
+            stop_when_done=stop_when_done, log=log,
+        )
+    ordered = {point: results[point] for point in spec.points}
+    return ResultSet.from_spec(spec, ordered)
+
+
+def _serve_missed(
+    spec, setup, store, queue_root, results, missed, *,
+    workers, num_shards, lease_ttl, max_attempts, retry_backoff,
+    poll_interval, timeout, stop_when_done, log,
+) -> None:
+    say = log or (lambda message: None)
+    shards = num_shards or max(workers, 1)
+    queue = WorkQueue.create(
+        queue_root,
+        num_shards=shards,
+        lease_ttl=lease_ttl,
+        max_attempts=max_attempts,
+        retry_backoff=retry_backoff,
+    )
+    groups = dict(missed)
+    for key, points in missed:
+        task = PointTask.from_point(points[0], setup, key)
+        queue.submit(key, task.to_payload())
+    say(
+        f"broker: {len(groups)} point(s) queued at {queue.root} "
+        f"({shards} shard(s), lease {lease_ttl:.0f}s)"
+    )
+    procs = launch_local_workers(workers, queue.root, store) if workers else []
+    outstanding = set(groups)
+    deadline = time.time() + timeout if timeout else None
+    last_status = 0.0
+    try:
+        while outstanding:
+            queue.reap_expired()
+            for key in list(outstanding):
+                failure = queue.failure(key)
+                if failure is not None:
+                    points = groups[key]
+                    errors = failure.get("errors") or ["(no error recorded)"]
+                    raise DistributedRunError(
+                        f"point {points[0].scheme}/{points[0].benchmark} "
+                        f"failed after {failure.get('attempts', '?')} "
+                        f"attempt(s); last worker error:\n{errors[-1]}"
+                    )
+                result = store.fetch(key)
+                if result is not None:
+                    for point in groups[key]:
+                        results[point] = result
+                    outstanding.discard(key)
+            if not outstanding:
+                break
+            if procs and all(proc.poll() is not None for proc in procs):
+                raise DistributedRunError(
+                    f"all {len(procs)} local workers exited with "
+                    f"{len(outstanding)} point(s) outstanding "
+                    f"(queue state: {queue.counts()})"
+                )
+            now = time.time()
+            if deadline is not None and now > deadline:
+                raise DistributedRunError(
+                    f"timed out after {timeout:.0f}s with {len(outstanding)} "
+                    f"point(s) outstanding (queue state: {queue.counts()})"
+                )
+            if now - last_status >= 5.0:
+                last_status = now
+                counts = queue.counts()
+                say(
+                    f"broker: waiting on {len(outstanding)} point(s) "
+                    f"(pending {counts['pending']}, leased {counts['leased']}, "
+                    f"done {counts['done']})"
+                )
+            time.sleep(poll_interval)
+    finally:
+        # ``serve all`` keeps one queue alive across its grids
+        # (stop_when_done=False, external workers stay attached); the
+        # self-contained ``--distributed N`` path stops its per-grid
+        # queue so the local workers drain out.
+        if stop_when_done or procs:
+            queue.stop()
+        _shutdown_workers(procs)
+
+
+def launch_local_workers(
+    count: int,
+    queue_root: "Path | str",
+    store: ResultStore,
+    extra_args: "tuple[str, ...]" = (),
+) -> "list[subprocess.Popen]":
+    """Spawn ``count`` worker subprocesses bound to a queue.
+
+    Worker *i* prefers shard ``i`` (mod the queue's shard count) and
+    steals from the rest — the ``--distributed N`` topology.  The
+    shared store location is passed explicitly so the workers commit
+    where this broker reads, regardless of their environment.
+    """
+    _require_shared_store(store)
+    env = os.environ.copy()
+    # The workers must import the same repro package this broker runs.
+    package_root = str(Path(__file__).resolve().parents[3])
+    current = env.get("PYTHONPATH", "")
+    if package_root not in current.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + current if current else "")
+        )
+    procs = []
+    for index in range(count):
+        command = [
+            sys.executable, "-m", "repro", "experiments", "work",
+            "--queue", str(queue_root),
+            "--store", str(store.root),
+            "--worker-id", f"local-{index}",
+            "--shards", str(index),
+            "--wait", "30",
+            *extra_args,
+        ]
+        procs.append(subprocess.Popen(command, env=env))
+    return procs
+
+
+def _shutdown_workers(procs: "list[subprocess.Popen]") -> None:
+    # The stop sentinel asks nicely; terminate stragglers, then reap.
+    deadline = time.time() + 10.0
+    for proc in procs:
+        while proc.poll() is None and time.time() < deadline:
+            time.sleep(0.05)
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def make_distributed_executor(
+    queue_root: "Path | str",
+    *,
+    workers: int = 0,
+    subdir_per_spec: bool = True,
+    **options,
+) -> Callable:
+    """An ``execute_spec``-compatible executor bound to a queue root.
+
+    With ``subdir_per_spec`` (the ``--distributed N`` path, where this
+    process launches its own workers per grid) each spec gets a fresh
+    ``run-NNN-<name>`` subdirectory so successive grids (``all``) never
+    share stop sentinels.  ``serve`` passes ``subdir_per_spec=False`` so
+    externally launched workers find the queue at exactly ``--queue``.
+    """
+    queue_root = Path(queue_root)
+    counter = iter(range(1_000_000))
+
+    def executor(spec, setup, store) -> ResultSet:
+        root = queue_root
+        if subdir_per_spec:
+            root = queue_root / f"run-{next(counter):03d}-{spec.name}"
+        return execute_spec_distributed(
+            spec, setup, store, root, workers=workers, **options
+        )
+
+    return executor

@@ -1,0 +1,462 @@
+"""Leased work queue over a shared filesystem.
+
+The queue-based-load-leveling half of the experiment service: a broker
+submits tasks, any number of worker processes (on any machine mounting
+the directory) lease and execute them, and every transition is a
+single-file atomic rename — so a worker killed at *any* instruction
+loses nothing but its lease.
+
+Layout under the queue root::
+
+    queue.json            broker-written config (shards, TTL, retries)
+    pending/shard-NN/     runnable tasks, sharded by task-id hash
+    leased/               claimed tasks, stamped {worker, deadline}
+    done/                 completion markers (results live in the store)
+    failed/               tasks whose retries are exhausted, with errors
+    stop                  sentinel: workers drain out and exit
+
+Lifecycle of one task::
+
+    submit ─> pending ──claim──> leased ──complete──> done
+                 ^                 │
+                 │   expiry/error  │ attempts == max_attempts
+                 └──── requeue ────┴───────────────> failed
+
+* **Claiming is an atomic rename** (``pending/… -> leased/<id>.json``):
+  exactly one of any number of racing workers wins; losers see
+  ``FileNotFoundError`` and move on.
+* **Sharding + work-stealing**: a task's shard is a hash of its id
+  (RunPoint fingerprints hash uniformly); a worker scans its preferred
+  shards first and *steals* from the rest when they are empty, so one
+  shard of long ASR search points cannot idle the fleet.
+* **Leases expire**: every claim stamps ``now + lease_ttl`` and anyone
+  (broker or worker) may :meth:`reap_expired` — crash recovery needs no
+  dedicated supervisor.  Requeue bumps the attempt counter and delays
+  the task by an exponential backoff, and after ``max_attempts`` the
+  task lands in ``failed/`` with its recorded errors, which the broker
+  surfaces to the caller.
+* **Requeue is write-then-unlink**: the pending copy is created before
+  the leased copy is removed, so a reaper crashing mid-requeue can only
+  *duplicate* work (harmless — results are deterministic and commits
+  idempotent), never lose it.  For the same reason a worker that
+  outlives its lease may race a reclaim; both end up committing the
+  same bit-identical result.  Size ``lease_ttl`` above the worst-case
+  single-point runtime to avoid the wasted duplicate work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterator, Mapping
+
+QUEUE_META = "queue.json"
+QUEUE_VERSION = 1
+
+_TMP_SEQUENCE = itertools.count()
+
+
+class QueueError(RuntimeError):
+    """The queue directory is missing, foreign, or version-skewed."""
+
+
+def shard_name(index: int) -> str:
+    return f"shard-{index:02d}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Lease:
+    """One claimed task: the worker owns it until ``deadline``."""
+
+    task_id: str
+    payload: Mapping
+    worker: str
+    deadline: float
+    attempts: int
+    shard: int
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueConfig:
+    num_shards: int = 1
+    lease_ttl: float = 30.0
+    max_attempts: int = 3
+    retry_backoff: float = 0.5
+
+
+class WorkQueue:
+    """Filesystem-backed lease queue (see module docstring)."""
+
+    PENDING = "pending"
+    LEASED = "leased"
+    DONE = "done"
+    FAILED = "failed"
+    STOP = "stop"
+
+    def __init__(self, root: "Path | str", config: QueueConfig) -> None:
+        self.root = Path(root)
+        self.config = config
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root: "Path | str",
+        num_shards: int = 1,
+        lease_ttl: float = 30.0,
+        max_attempts: int = 3,
+        retry_backoff: float = 0.5,
+    ) -> "WorkQueue":
+        """Initialize (or re-open) a queue directory as the broker."""
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        config = QueueConfig(num_shards, lease_ttl, max_attempts, retry_backoff)
+        queue = cls(root, config)
+        queue.root.mkdir(parents=True, exist_ok=True)
+        for state in (cls.LEASED, cls.DONE, cls.FAILED):
+            (queue.root / state).mkdir(exist_ok=True)
+        pending = queue.root / cls.PENDING
+        pending.mkdir(exist_ok=True)
+        for shard in range(num_shards):
+            (pending / shard_name(shard)).mkdir(exist_ok=True)
+        meta = {
+            "queue_version": QUEUE_VERSION,
+            "num_shards": num_shards,
+            "lease_ttl": lease_ttl,
+            "max_attempts": max_attempts,
+            "retry_backoff": retry_backoff,
+        }
+        queue._write_atomic(queue.root / QUEUE_META, meta)
+        # A reused root (``serve`` running grid after grid, or a broker
+        # restart) must not inherit a previous run's stop sentinel.
+        cls._unlink(queue.root / cls.STOP)
+        return queue
+
+    @classmethod
+    def open(cls, root: "Path | str", wait: float = 0.0) -> "WorkQueue":
+        """Attach to an existing queue as a worker.
+
+        ``wait`` seconds are spent polling for the broker's ``queue.json``
+        (workers are routinely launched before the broker finishes
+        setting up); raises :class:`QueueError` once exhausted.
+        """
+        root = Path(root)
+        deadline = time.time() + wait
+        while True:
+            meta = cls._read(root / QUEUE_META)
+            if meta is not None:
+                break
+            if time.time() >= deadline:
+                raise QueueError(
+                    f"no work queue at {root} (queue.json missing); "
+                    f"is the broker running with --queue pointing here?"
+                )
+            time.sleep(0.05)
+        if meta.get("queue_version") != QUEUE_VERSION:
+            raise QueueError(
+                f"queue at {root} has version {meta.get('queue_version')!r}, "
+                f"this worker supports {QUEUE_VERSION}"
+            )
+        config = QueueConfig(
+            num_shards=int(meta["num_shards"]),
+            lease_ttl=float(meta["lease_ttl"]),
+            max_attempts=int(meta["max_attempts"]),
+            retry_backoff=float(meta["retry_backoff"]),
+        )
+        return cls(root, config)
+
+    # -- paths ---------------------------------------------------------------
+    def shard_of(self, task_id: str) -> int:
+        digest = hashlib.sha256(task_id.encode("utf-8")).hexdigest()
+        return int(digest[:8], 16) % self.config.num_shards
+
+    def _pending_path(self, task_id: str, shard: int) -> Path:
+        return self.root / self.PENDING / shard_name(shard) / f"{task_id}.json"
+
+    def _leased_path(self, task_id: str) -> Path:
+        return self.root / self.LEASED / f"{task_id}.json"
+
+    def _done_path(self, task_id: str) -> Path:
+        return self.root / self.DONE / f"{task_id}.json"
+
+    def _failed_path(self, task_id: str) -> Path:
+        return self.root / self.FAILED / f"{task_id}.json"
+
+    # -- primitive IO --------------------------------------------------------
+    def _write_atomic(self, path: Path, record: Mapping) -> None:
+        tmp = path.parent / f".{path.name}.{os.getpid()}.{next(_TMP_SEQUENCE)}.tmp"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(record, handle)
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _read(path: Path) -> "dict | None":
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    @staticmethod
+    def _unlink(path: Path) -> bool:
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        return True
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, task_id: str, payload: Mapping) -> bool:
+        """Enqueue a task; returns False if the id is already known
+        (pending, leased, done or failed) — submission is idempotent."""
+        shard = self.shard_of(task_id)
+        if (
+            self._pending_path(task_id, shard).exists()
+            or self._leased_path(task_id).exists()
+            or self._done_path(task_id).exists()
+            or self._failed_path(task_id).exists()
+        ):
+            return False
+        record = {
+            "id": task_id,
+            "shard": shard,
+            "task": payload,
+            "attempts": 0,
+            "not_before": 0.0,
+            "errors": [],
+        }
+        self._write_atomic(self._pending_path(task_id, shard), record)
+        return True
+
+    # -- claiming ------------------------------------------------------------
+    def claim(
+        self, worker: str, preferred_shards: "tuple[int, ...]" = ()
+    ) -> "Lease | None":
+        """Lease one runnable task, preferring the given shards.
+
+        Preferred shards are scanned first; when they are drained the
+        worker *steals* from every other shard (ascending) — the piece
+        that keeps skewed grids (long ASR search points concentrated in
+        one shard) from idling the fleet.
+        """
+        preferred = [s for s in preferred_shards if 0 <= s < self.config.num_shards]
+        rest = [s for s in range(self.config.num_shards) if s not in preferred]
+        now = time.time()
+        for shard in (*preferred, *rest):
+            lease = self._claim_from_shard(shard, worker, now)
+            if lease is not None:
+                return lease
+        return None
+
+    def _claim_from_shard(
+        self, shard: int, worker: str, now: float
+    ) -> "Lease | None":
+        shard_dir = self.root / self.PENDING / shard_name(shard)
+        try:
+            candidates = sorted(shard_dir.glob("*.json"))
+        except OSError:
+            return None
+        for path in candidates:
+            record = self._read(path)
+            if record is None:
+                continue
+            task_id = record.get("id") or path.stem
+            if record.get("not_before", 0.0) > now:
+                continue  # backing off after a failure
+            if self._done_path(task_id).exists():
+                # A slow duplicate of an already-completed task (requeue
+                # raced a late commit): drop it instead of re-running.
+                self._unlink(path)
+                continue
+            leased = self._leased_path(task_id)
+            try:
+                os.replace(path, leased)  # the atomic claim
+            except OSError:
+                continue  # another worker won the race
+            attempts = int(record.get("attempts", 0))
+            deadline = now + self.config.lease_ttl
+            record["lease"] = {"worker": worker, "deadline": deadline}
+            # We own the file now; stamping the lease cannot race.
+            self._write_atomic(leased, record)
+            return Lease(
+                task_id=task_id,
+                payload=record.get("task", {}),
+                worker=worker,
+                deadline=deadline,
+                attempts=attempts,
+                shard=shard,
+            )
+        return None
+
+    def renew(self, lease: Lease, ttl: "float | None" = None) -> "Lease | None":
+        """Extend a held lease; None if it was lost (expired + reaped)."""
+        path = self._leased_path(lease.task_id)
+        record = self._read(path)
+        if record is None:
+            return None
+        stamped = record.get("lease", {})
+        if stamped.get("worker") != lease.worker:
+            return None
+        deadline = time.time() + (ttl if ttl is not None else self.config.lease_ttl)
+        record["lease"] = {"worker": lease.worker, "deadline": deadline}
+        self._write_atomic(path, record)
+        return dataclasses.replace(lease, deadline=deadline)
+
+    # -- completion / failure ------------------------------------------------
+    def complete(self, lease: Lease, **extra) -> bool:
+        """Mark a leased task done (idempotent).
+
+        Returns False when the lease had already been lost to expiry —
+        the completion marker is still written (the result *was*
+        committed to the store; the marker stops pending duplicates from
+        re-running it), but the caller learns its lease lapsed.
+        """
+        marker = {
+            "id": lease.task_id,
+            "worker": lease.worker,
+            "attempts": lease.attempts,
+            "completed_at": time.time(),
+            **extra,
+        }
+        self._write_atomic(self._done_path(lease.task_id), marker)
+        path = self._leased_path(lease.task_id)
+        record = self._read(path)
+        owned = (
+            record is not None
+            and record.get("lease", {}).get("worker") == lease.worker
+        )
+        if owned:
+            self._unlink(path)
+        return owned
+
+    def fail(self, lease: Lease, error: str) -> str:
+        """Record a failed attempt: ``"requeued"`` (with backoff) or
+        ``"failed"`` once ``max_attempts`` is exhausted."""
+        record = {
+            "id": lease.task_id,
+            "shard": lease.shard,
+            "task": lease.payload,
+            "attempts": lease.attempts,
+            "errors": [],
+        }
+        current = self._read(self._leased_path(lease.task_id))
+        if current is not None and current.get("id") == lease.task_id:
+            record = current
+        return self._retire(record, lease.task_id, error)
+
+    def _retire(self, record: dict, task_id: str, error: str) -> str:
+        """Shared requeue-or-fail path (worker errors and lease expiry).
+
+        Write-then-unlink: the successor file exists before the leased
+        copy disappears, so a crash here duplicates instead of losing.
+        """
+        attempts = int(record.get("attempts", 0)) + 1
+        errors = list(record.get("errors", []))[-4:]
+        errors.append(error)
+        record = {
+            "id": task_id,
+            "shard": record.get("shard", self.shard_of(task_id)),
+            "task": record.get("task", {}),
+            "attempts": attempts,
+            "errors": errors,
+        }
+        record.pop("lease", None)
+        if attempts >= self.config.max_attempts:
+            self._write_atomic(self._failed_path(task_id), record)
+            self._unlink(self._leased_path(task_id))
+            return "failed"
+        backoff = self.config.retry_backoff * (2 ** (attempts - 1))
+        record["not_before"] = time.time() + backoff
+        self._write_atomic(self._pending_path(task_id, record["shard"]), record)
+        self._unlink(self._leased_path(task_id))
+        return "requeued"
+
+    # -- crash recovery ------------------------------------------------------
+    def reap_expired(self) -> list[str]:
+        """Requeue (or fail out) every lease past its deadline.
+
+        Safe for any number of concurrent reapers: duplicated requeues
+        converge (atomic replace; done markers drop stale copies at the
+        next claim).  Returns the reaped task ids.
+        """
+        now = time.time()
+        reaped = []
+        leased_dir = self.root / self.LEASED
+        try:
+            leases = sorted(leased_dir.glob("*.json"))
+        except OSError:
+            return reaped
+        for path in leases:
+            record = self._read(path)
+            if record is None:
+                continue
+            stamp = record.get("lease")
+            if not stamp or stamp.get("deadline", 0.0) > now:
+                continue
+            task_id = record.get("id") or path.stem
+            if self._done_path(task_id).exists():
+                # Committed but the worker died (or lost the race)
+                # before cleaning up its lease file: just clean up.
+                self._unlink(path)
+                continue
+            error = (
+                f"lease expired (worker {stamp.get('worker', '?')} "
+                f"missed its {self.config.lease_ttl:.1f}s deadline)"
+            )
+            self._retire(record, task_id, error)
+            reaped.append(task_id)
+        return reaped
+
+    # -- introspection -------------------------------------------------------
+    def is_done(self, task_id: str) -> bool:
+        return self._done_path(task_id).exists()
+
+    def failure(self, task_id: str) -> "dict | None":
+        """The failure record (attempts + errors) for an exhausted task."""
+        return self._read(self._failed_path(task_id))
+
+    def failures(self) -> dict[str, dict]:
+        out = {}
+        for path in (self.root / self.FAILED).glob("*.json"):
+            record = self._read(path)
+            if record is not None:
+                out[record.get("id", path.stem)] = record
+        return out
+
+    def pending_ids(self) -> Iterator[str]:
+        for path in (self.root / self.PENDING).glob("*/*.json"):
+            yield path.stem
+
+    def counts(self) -> dict[str, int]:
+        """Tasks per state — the ``serve`` status line."""
+        return {
+            "pending": sum(1 for _ in (self.root / self.PENDING).glob("*/*.json")),
+            "leased": sum(1 for _ in (self.root / self.LEASED).glob("*.json")),
+            "done": sum(1 for _ in (self.root / self.DONE).glob("*.json")),
+            "failed": sum(1 for _ in (self.root / self.FAILED).glob("*.json")),
+        }
+
+    # -- shutdown ------------------------------------------------------------
+    def stop(self) -> None:
+        """Raise the stop sentinel: workers drain out and exit."""
+        try:
+            (self.root / self.STOP).touch()
+        except OSError:
+            pass
+
+    @property
+    def stopped(self) -> bool:
+        return (self.root / self.STOP).exists()
+
+    @property
+    def closed(self) -> bool:
+        """The queue directory itself is gone (broker cleaned up)."""
+        return not (self.root / QUEUE_META).exists()

@@ -1,0 +1,144 @@
+"""JSON task descriptions the broker and workers exchange.
+
+A :class:`PointTask` is the unit of distributed work: **one RunPoint,
+end to end** — including, for an ASR point without an explicit
+replication level, the whole five-level search.  Keeping the search
+inside one task means a task's result commits under exactly the point's
+fingerprint address (no cross-worker reduction step), and it is also why
+the queue needs work-stealing: ASR search points run ~5x longer than
+fixed points, so any static shard assignment leaves workers idle.
+
+Tasks cross process (and machine) boundaries as JSON, so the payload
+carries the fully *resolved* coordinate: scheme, benchmark, effective
+:class:`~repro.common.params.MachineConfig` (nested dataclasses encoded
+field by field), scale, seed, scheme kwargs, kernel selection and the
+ASR search space.  ``PointTask.execute`` rebuilds an
+:class:`~repro.experiments.runner.ExperimentSetup` worker-side and runs
+:func:`~repro.experiments.runner.run_one` — the same call the sequential
+executor makes, so a distributed grid is bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Mapping
+
+from repro.common.params import CacheGeometry, MachineConfig
+from repro.experiments.runner import ExperimentSetup, RunResult, run_one
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.spec import RunPoint
+
+#: Bump when the payload schema changes; workers refuse newer payloads
+#: instead of misinterpreting them.
+TASK_VERSION = 1
+
+_GEOMETRY_FIELDS = ("l1i", "l1d", "llc_slice")
+
+
+class TaskDecodeError(ValueError):
+    """A task payload could not be decoded (wrong version or shape)."""
+
+
+def encode_config(config: MachineConfig) -> dict:
+    """JSON-serializable dump of a machine configuration (exact)."""
+    return dataclasses.asdict(config)
+
+
+def decode_config(payload: Mapping) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from :func:`encode_config`."""
+    data = dict(payload)
+    for field in _GEOMETRY_FIELDS:
+        data[field] = CacheGeometry(**data[field])
+    return MachineConfig(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class PointTask:
+    """One leased unit of work: a fully resolved RunPoint."""
+
+    key: str
+    scheme: str
+    benchmark: str
+    config: MachineConfig
+    scale: float
+    seed: int
+    scheme_kwargs: tuple = ()
+    kernel: "str | None" = None
+    asr_levels: tuple = ()
+
+    @classmethod
+    def from_point(
+        cls, point: "RunPoint", setup: ExperimentSetup, key: str
+    ) -> "PointTask":
+        """Resolve a RunPoint against its setup into a picklable task.
+
+        Mirrors the resolution :func:`~repro.experiments.parallel.point_run_specs`
+        performs, except the ASR level search stays *inside* the task.
+        """
+        return cls(
+            key=key,
+            scheme=point.scheme,
+            benchmark=point.benchmark,
+            config=point.effective_config(setup.config),
+            scale=point.scale if point.scale is not None else setup.scale,
+            seed=point.seed if point.seed is not None else setup.seed,
+            scheme_kwargs=point.scheme_kwargs,
+            kernel=point.kernel if point.kernel is not None else setup.kernel,
+            asr_levels=tuple(setup.asr_levels),
+        )
+
+    def execute(self) -> RunResult:
+        """Run the point worker-side — identical to the sequential path."""
+        setup = ExperimentSetup(
+            self.config,
+            scale=self.scale,
+            seed=self.seed,
+            asr_levels=self.asr_levels or ExperimentSetup(self.config).asr_levels,
+            kernel=self.kernel,
+        )
+        kwargs = dict(self.scheme_kwargs)
+        result = run_one(setup, self.scheme, self.benchmark, **kwargs)
+        if self.scheme == "ASR" and "replication_level" in kwargs:
+            result.asr_level = kwargs["replication_level"]
+        return result
+
+    # -- codec ---------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "task_version": TASK_VERSION,
+            "key": self.key,
+            "scheme": self.scheme,
+            "benchmark": self.benchmark,
+            "config": encode_config(self.config),
+            "scale": self.scale,
+            "seed": self.seed,
+            "scheme_kwargs": [[name, value] for name, value in self.scheme_kwargs],
+            "kernel": self.kernel,
+            "asr_levels": list(self.asr_levels),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "PointTask":
+        version = payload.get("task_version")
+        if version != TASK_VERSION:
+            raise TaskDecodeError(
+                f"task payload version {version!r} is not the supported "
+                f"{TASK_VERSION} (broker and workers must run the same code)"
+            )
+        try:
+            return cls(
+                key=payload["key"],
+                scheme=payload["scheme"],
+                benchmark=payload["benchmark"],
+                config=decode_config(payload["config"]),
+                scale=payload["scale"],
+                seed=payload["seed"],
+                scheme_kwargs=tuple(
+                    (name, value) for name, value in payload["scheme_kwargs"]
+                ),
+                kernel=payload.get("kernel"),
+                asr_levels=tuple(payload.get("asr_levels", ())),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TaskDecodeError(f"malformed task payload: {exc}") from exc

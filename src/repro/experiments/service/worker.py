@@ -1,0 +1,173 @@
+"""Crash-tolerant worker: lease → (read-through | simulate) → commit.
+
+A worker owns nothing durable.  Its whole contract per task is:
+
+1. lease a task from the :class:`~repro.experiments.service.queue.WorkQueue`
+   (preferring its shards, stealing otherwise);
+2. **read through** the shared :class:`~repro.experiments.store.ResultStore`
+   first — a requeued task whose original worker committed late (or a
+   point another grid already ran) completes instantly;
+3. otherwise simulate via :meth:`PointTask.execute` and commit the
+   result to the shared store — lease completion is *gated on the
+   commit being durable*, so a "done" marker always implies the result
+   is readable;
+4. on any exception, report the traceback through :meth:`WorkQueue.fail`
+   (bounded retry broker-side).
+
+Kill a worker at any point in that sequence and the grid still
+completes: an unfinished lease expires and is requeued, a finished one
+left a durable result any successor serves via read-through.  Workers
+exit when the queue raises its stop sentinel, when its directory is
+removed, or (optionally) after an idle timeout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import socket
+import time
+import traceback
+
+from repro.experiments.service.queue import Lease, WorkQueue
+from repro.experiments.service.tasks import PointTask, TaskDecodeError
+from repro.experiments.store import ResultStore
+
+#: Test/ops hook: a worker holds (sleeps) this many seconds after
+#: claiming its *first* lease before executing it.  The
+#: kill-a-worker-mid-grid integration test uses it to pin a victim
+#: worker inside a lease deterministically; it is also a convenient way
+#: to rehearse lease-expiry behavior on a live deployment.
+HOLD_FIRST_ENV_VAR = "REPRO_WORKER_HOLD_FIRST_S"
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclasses.dataclass
+class WorkerStats:
+    """What one worker did — summarized to stderr on exit."""
+
+    claimed: int = 0
+    executed: int = 0
+    store_served: int = 0
+    failures: int = 0
+    reaped: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.claimed} leases ({self.executed} simulated, "
+            f"{self.store_served} store-served, {self.failures} failed), "
+            f"{self.reaped} expired leases reaped"
+        )
+
+
+class Worker:
+    """One pull-based worker process (or thread, in tests)."""
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        store: ResultStore,
+        worker_id: "str | None" = None,
+        preferred_shards: "tuple[int, ...]" = (),
+        poll_interval: float = 0.05,
+        hold_first_s: float = 0.0,
+    ) -> None:
+        self.queue = queue
+        self.store = store
+        self.worker_id = worker_id or default_worker_id()
+        self.preferred_shards = tuple(preferred_shards)
+        self.poll_interval = poll_interval
+        self.hold_first_s = hold_first_s
+        self.stats = WorkerStats()
+        self._held = False
+
+    # -- one scheduling round ------------------------------------------------
+    def step(self) -> bool:
+        """Reap expired peers' leases, then lease and process one task.
+
+        Returns whether any task was processed (False = queue idle).
+        Workers reaping for each other is what makes the fleet
+        self-healing without a dedicated supervisor process.
+        """
+        self.stats.reaped += len(self.queue.reap_expired())
+        lease = self.queue.claim(self.worker_id, self.preferred_shards)
+        if lease is None:
+            return False
+        self._process(lease)
+        return True
+
+    def _process(self, lease: Lease) -> None:
+        self.stats.claimed += 1
+        if self.hold_first_s > 0 and not self._held:
+            self._held = True
+            time.sleep(self.hold_first_s)
+        cached = self.store.fetch(lease.task_id)
+        if cached is not None:
+            # Read-through: the point was already served (late commit of
+            # an expired lease, or a prior grid) — complete immediately.
+            self.queue.complete(lease, served_from="store")
+            self.stats.store_served += 1
+            return
+        try:
+            task = PointTask.from_payload(lease.payload)
+            result = task.execute()
+        except TaskDecodeError as exc:
+            self.queue.fail(lease, f"[{self.worker_id}] {exc}")
+            self.stats.failures += 1
+            return
+        except Exception:
+            trace = traceback.format_exc()
+            self.queue.fail(lease, f"[{self.worker_id}]\n{trace}")
+            self.stats.failures += 1
+            return
+        if not self.store.put(lease.task_id, result):
+            # The done marker must imply a readable result; a commit
+            # that did not persist is a failed attempt.
+            self.queue.fail(
+                lease,
+                f"[{self.worker_id}] result could not be persisted to the "
+                f"shared store at {self.store.backend.location()}",
+            )
+            self.stats.failures += 1
+            return
+        self.queue.complete(lease, served_from="simulation")
+        self.stats.executed += 1
+
+    # -- loops ---------------------------------------------------------------
+    def run(
+        self,
+        max_tasks: "int | None" = None,
+        idle_timeout: "float | None" = None,
+    ) -> WorkerStats:
+        """Serve until the queue stops (or closes), with optional caps.
+
+        ``idle_timeout`` exits after that many consecutive idle seconds
+        — the mode ``--distributed`` local workers use so a finished
+        grid never strands processes.
+        """
+        idle_since: "float | None" = None
+        while True:
+            if self.queue.stopped or self.queue.closed:
+                break
+            worked = self.step()
+            if worked:
+                idle_since = None
+                if max_tasks is not None and self.stats.claimed >= max_tasks:
+                    break
+                continue
+            now = time.time()
+            if idle_since is None:
+                idle_since = now
+            elif idle_timeout is not None and now - idle_since >= idle_timeout:
+                break
+            time.sleep(self.poll_interval)
+        return self.stats
+
+    def drain(self) -> WorkerStats:
+        """Process until nothing is claimable (unit-test convenience)."""
+        while self.step():
+            pass
+        return self.stats

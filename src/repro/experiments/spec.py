@@ -201,6 +201,7 @@ def execute_spec(
     setup: ExperimentSetup,
     store: "ResultStore | None" = None,
     max_workers: int = 0,
+    executor: "Callable | None" = None,
 ) -> ResultSet:
     """Run every point of ``spec`` (reusing stored results) → ResultSet.
 
@@ -208,10 +209,16 @@ def execute_spec(
     identical points within the spec.  ``max_workers > 1`` shards the
     missed points across worker processes; results are identical to the
     sequential path (the kernels are deterministic and every point is
-    independent).
+    independent).  An explicit ``executor`` — a ``(spec, setup, store)
+    -> ResultSet`` callable — replaces the execution substrate entirely;
+    the distributed experiment service plugs in through it
+    (:func:`repro.experiments.service.make_distributed_executor`), which
+    is how ``--distributed N`` reaches every registered grid command.
     """
     if store is None:
         store = ResultStore.memory()
+    if executor is not None:
+        return executor(spec, setup, store)
     if max_workers and max_workers > 1:
         from repro.experiments.parallel import execute_spec_parallel
 
@@ -324,9 +331,13 @@ def register_experiment(
             benchmarks: "Sequence[str] | None" = None,
             store: "ResultStore | None" = None,
             max_workers: int = 0,
+            executor: "Callable | None" = None,
         ) -> str:
             spec = build(setup, benchmarks)
-            results = execute_spec(spec, setup, store=store, max_workers=max_workers)
+            results = execute_spec(
+                spec, setup, store=store, max_workers=max_workers,
+                executor=executor,
+            )
             return render(results, setup)
 
         _register(ExperimentCommand(name, description, run, build))
@@ -338,15 +349,27 @@ def register_experiment(
 def register_report(
     name: str, description: str
 ) -> Callable[[Callable], Callable]:
-    """Register a non-grid command: ``fn(setup, benchmarks) -> str``."""
+    """Register a non-grid command: ``fn(setup, benchmarks) -> str``.
+
+    A report whose signature also accepts a ``store`` keyword receives
+    the shared :class:`ResultStore` — that's how fig1 caches its
+    run-length profiles alongside the simulation results.
+    """
 
     def decorate(fn: Callable) -> Callable:
+        import inspect
+
+        takes_store = "store" in inspect.signature(fn).parameters
+
         def run(
             setup: ExperimentSetup,
             benchmarks: "Sequence[str] | None" = None,
             store: "ResultStore | None" = None,
             max_workers: int = 0,
+            executor: "Callable | None" = None,
         ) -> str:
+            if takes_store:
+                return fn(setup, benchmarks, store=store)
             return fn(setup, benchmarks)
 
         _register(ExperimentCommand(name, description, run, None))

@@ -28,6 +28,10 @@ from repro.workloads.trace import TraceSet
 #: Figure 1 run-length buckets, as (label, low, high-inclusive).
 RUN_LENGTH_BUCKETS = (("[1-2]", 1, 2), ("[3-9]", 3, 9), ("[>=10]", 10, None))
 
+#: Version stamp for stored profile payloads; bump when the profiler's
+#: semantics change so stale cached profiles are never served.
+PROFILE_VERSION = 1
+
 
 def bucket_label(run_length: int) -> str:
     for label, low, high in RUN_LENGTH_BUCKETS:
@@ -69,6 +73,43 @@ class RunLengthProfile:
             value for (_cls, bucket), value in self.mass.items() if bucket != "[1-2]"
         )
         return high / total
+
+
+def encode_profile(profile: RunLengthProfile) -> dict:
+    """JSON-serializable payload for a profile (ResultStore caching).
+
+    Counts are integers and the class/bucket axes are enumerable, so the
+    round-trip is exact — a store-served Figure 1 is bit-identical to a
+    freshly profiled one.
+    """
+    return {
+        "profile_version": PROFILE_VERSION,
+        "benchmark": profile.benchmark,
+        "mass": [
+            [line_class.name, bucket, count]
+            for (line_class, bucket), count in sorted(
+                profile.mass.items(),
+                key=lambda item: (item[0][0].name, item[0][1]),
+            )
+        ],
+    }
+
+
+def decode_profile(payload) -> "RunLengthProfile | None":
+    """Rebuild a profile from :func:`encode_profile` output.
+
+    Returns ``None`` for version-skewed or malformed payloads — callers
+    treat that as a cache miss and re-profile.
+    """
+    try:
+        if payload.get("profile_version") != PROFILE_VERSION:
+            return None
+        mass: Counter = Counter()
+        for class_name, bucket, count in payload["mass"]:
+            mass[(LineClass[class_name], str(bucket))] = int(count)
+        return RunLengthProfile(str(payload["benchmark"]), mass)
+    except (AttributeError, KeyError, TypeError, ValueError):
+        return None
 
 
 class _RunLengthObserver(ProtocolObserver):

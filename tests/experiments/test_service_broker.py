@@ -1,0 +1,241 @@
+"""Broker + worker semantics, in-process (threads, no subprocesses)."""
+
+import threading
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.experiments.runner import ExperimentSetup
+from repro.experiments.spec import ExperimentSpec, RunPoint, execute_spec
+from repro.experiments.store import ResultStore
+from repro.experiments.service import (
+    DistributedRunError,
+    PointTask,
+    TaskDecodeError,
+    Worker,
+    WorkQueue,
+    execute_spec_distributed,
+    make_distributed_executor,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(MachineConfig.small(), scale=0.05, seed=9)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ExperimentSpec("grid", (
+        RunPoint(scheme="S-NUCA", benchmark="DEDUP"),
+        RunPoint(scheme="RT-3", benchmark="DEDUP"),
+        RunPoint(scheme="ASR", benchmark="DEDUP"),
+        RunPoint(scheme="RT-3", benchmark="DEDUP", label="dup"),  # same address
+    ))
+
+
+@pytest.fixture(scope="module")
+def sequential(spec, setup):
+    return execute_spec(spec, setup, ResultStore.memory())
+
+
+def run_with_background_worker(spec, setup, store_root, queue_root, **options):
+    """Broker in this thread, one worker thread attached to the queue."""
+    store = ResultStore.shared(store_root)
+    done = threading.Event()
+
+    def work():
+        queue = WorkQueue.open(queue_root, wait=10.0)
+        worker = Worker(queue, ResultStore.shared(store_root), worker_id="bg")
+        while not done.is_set() and not queue.stopped:
+            if not worker.step():
+                done.wait(0.02)
+        return None
+
+    thread = threading.Thread(target=work)
+    thread.start()
+    try:
+        return execute_spec_distributed(
+            spec, setup, store, queue_root, timeout=120.0, **options
+        ), store
+    finally:
+        done.set()
+        thread.join()
+
+
+class TestPointTask:
+    def test_payload_roundtrip(self, spec, setup):
+        for point in spec.points:
+            task = PointTask.from_point(point, setup, "k")
+            rebuilt = PointTask.from_payload(task.to_payload())
+            assert rebuilt == task
+
+    def test_version_skew_raises(self, spec, setup):
+        task = PointTask.from_point(spec.points[0], setup, "k")
+        payload = task.to_payload()
+        payload["task_version"] = 99
+        with pytest.raises(TaskDecodeError, match="version"):
+            PointTask.from_payload(payload)
+
+    def test_execute_matches_sequential(self, spec, setup, sequential):
+        point = spec.points[0]
+        task = PointTask.from_point(point, setup, "k")
+        result = task.execute()
+        expected = sequential.result_for(point)
+        assert result.stats.completion_time == expected.stats.completion_time
+        assert result.energy_breakdown == expected.energy_breakdown
+
+    def test_asr_search_stays_inside_the_task(self, spec, setup, sequential):
+        (asr_point,) = [p for p in spec.points if p.scheme == "ASR"]
+        task = PointTask.from_point(asr_point, setup, "k")
+        assert task.asr_levels == tuple(setup.asr_levels)
+        result = task.execute()
+        expected = sequential.result_for(asr_point)
+        assert result.asr_level == expected.asr_level
+        assert result.total_energy == expected.total_energy
+
+
+class TestDistributedExecution:
+    def test_bit_identical_to_sequential(
+        self, spec, setup, sequential, tmp_path
+    ):
+        distributed, store = run_with_background_worker(
+            spec, setup, tmp_path / "store", tmp_path / "q"
+        )
+        for point in spec.points:
+            ours = distributed.result_for(point)
+            theirs = sequential.result_for(point)
+            assert ours.stats == theirs.stats
+            assert ours.energy_breakdown == theirs.energy_breakdown
+            assert ours.asr_level == theirs.asr_level
+
+    def test_accounting_matches_sequential(self, spec, setup, tmp_path):
+        _, store = run_with_background_worker(
+            spec, setup, tmp_path / "store", tmp_path / "q"
+        )
+        # 4 points, 3 unique addresses: 1 hit (the duplicate), 3 misses
+        # — identical to what the sequential executor would count.
+        assert store.hits == 1
+        assert store.misses == 3
+
+    def test_second_run_fully_store_served(self, spec, setup, tmp_path):
+        run_with_background_worker(spec, setup, tmp_path / "store", tmp_path / "q")
+        warm = ResultStore.shared(tmp_path / "store")
+        again = execute_spec_distributed(
+            spec, setup, warm, tmp_path / "q2", timeout=10.0
+        )
+        assert warm.misses == 0 and warm.hits == 4
+        assert len(again.points) == 4
+        # No queue was ever created: nothing was missed.
+        assert not (tmp_path / "q2" / "queue.json").exists()
+
+    def test_memory_store_rejected(self, spec, setup, tmp_path):
+        with pytest.raises(ValueError, match="disk-backed shared ResultStore"):
+            execute_spec_distributed(
+                spec, setup, ResultStore.memory(), tmp_path / "q"
+            )
+
+    def test_worker_read_through_completes_without_simulating(
+        self, spec, setup, tmp_path
+    ):
+        store_root = tmp_path / "store"
+        run_with_background_worker(spec, setup, store_root, tmp_path / "q")
+        # Resubmit the same points to a fresh queue; a worker should
+        # serve every lease from the store.
+        queue = WorkQueue.create(tmp_path / "q2", num_shards=1)
+        for index, point in enumerate(spec.points[:3]):
+            key = ResultStore.memory().key_for(point.fingerprint(setup))
+            task = PointTask.from_point(point, setup, key)
+            queue.submit(key, task.to_payload())
+        worker = Worker(queue, ResultStore.shared(store_root), worker_id="w")
+        stats = worker.drain()
+        assert stats.store_served == 3
+        assert stats.executed == 0
+
+
+class TestFailureSurfacing:
+    def test_worker_error_reaches_the_broker(self, setup, tmp_path):
+        # An unknown scheme label passes fingerprinting (the address is
+        # content, not validity) but explodes in the worker's run_one.
+        bad = ExperimentSpec("bad", (
+            RunPoint(scheme="NOPE", benchmark="DEDUP"),
+        ))
+        store = ResultStore.shared(tmp_path / "store")
+        queue_root = tmp_path / "q"
+        done = threading.Event()
+
+        def work():
+            queue = WorkQueue.open(queue_root, wait=10.0)
+            worker = Worker(queue, ResultStore.shared(tmp_path / "store"))
+            while not done.is_set() and not queue.stopped:
+                if not worker.step():
+                    done.wait(0.02)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        try:
+            with pytest.raises(DistributedRunError) as excinfo:
+                execute_spec_distributed(
+                    bad, setup, store, queue_root,
+                    max_attempts=2, retry_backoff=0.01, timeout=60.0,
+                )
+        finally:
+            done.set()
+            thread.join()
+        message = str(excinfo.value)
+        assert "failed after 2 attempt(s)" in message
+        # The worker's traceback travels back to the broker's caller.
+        assert "Traceback" in message
+
+
+class TestExecutorFactory:
+    def test_subdir_per_spec_isolates_grids(self, spec, setup, tmp_path):
+        executor = make_distributed_executor(
+            tmp_path / "q", workers=0, subdir_per_spec=True, timeout=0.5,
+        )
+        store = ResultStore.shared(tmp_path / "store")
+        # No workers attached: the run times out, but in its own subdir.
+        with pytest.raises(DistributedRunError, match="timed out"):
+            executor(spec, setup, store)
+        subdirs = list((tmp_path / "q").iterdir())
+        assert len(subdirs) == 1
+        assert subdirs[0].name.startswith("run-000-grid")
+
+    def test_plugs_into_execute_spec(self, spec, setup, sequential, tmp_path):
+        queue_root = tmp_path / "q"
+        done = threading.Event()
+
+        def work():
+            # The executor's queue lives in a run-NNN subdir; wait for it.
+            import time
+            deadline = time.time() + 10.0
+            target = None
+            while target is None and time.time() < deadline:
+                candidates = list(queue_root.glob("run-*/queue.json"))
+                if candidates:
+                    target = candidates[0].parent
+                done.wait(0.02)
+            if target is None:
+                return
+            queue = WorkQueue.open(target, wait=5.0)
+            worker = Worker(queue, ResultStore.shared(tmp_path / "store"))
+            while not done.is_set() and not queue.stopped:
+                if not worker.step():
+                    done.wait(0.02)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        store = ResultStore.shared(tmp_path / "store")
+        try:
+            results = execute_spec(
+                spec, setup, store,
+                executor=make_distributed_executor(queue_root, timeout=60.0),
+            )
+        finally:
+            done.set()
+            thread.join()
+        for point in spec.points:
+            assert (
+                results.result_for(point).stats
+                == sequential.result_for(point).stats
+            )

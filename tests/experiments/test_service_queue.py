@@ -1,0 +1,217 @@
+"""Lease lifecycle edge cases for the shared-filesystem work queue."""
+
+import json
+import time
+
+import pytest
+
+from repro.experiments.service import QueueConfig, QueueError, WorkQueue
+from repro.experiments.service.queue import shard_name
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    return WorkQueue.create(
+        tmp_path / "q", num_shards=2, lease_ttl=0.2, max_attempts=3,
+        retry_backoff=0.05,
+    )
+
+
+def submit_one(queue, task_id="task-1", payload=None):
+    assert queue.submit(task_id, payload or {"n": 1})
+    return task_id
+
+
+class TestSubmission:
+    def test_submit_is_idempotent(self, queue):
+        assert queue.submit("t", {"n": 1})
+        assert not queue.submit("t", {"n": 2})
+
+    def test_submit_skips_done_tasks(self, queue):
+        submit_one(queue, "t")
+        lease = queue.claim("w1")
+        queue.complete(lease)
+        assert not queue.submit("t", {"n": 1})
+
+    def test_sharding_is_stable(self, queue):
+        assert queue.shard_of("t") == queue.shard_of("t")
+        assert 0 <= queue.shard_of("t") < queue.config.num_shards
+
+
+class TestClaiming:
+    def test_claim_returns_payload(self, queue):
+        submit_one(queue, "t", {"n": 42})
+        lease = queue.claim("w1")
+        assert lease.task_id == "t"
+        assert lease.payload == {"n": 42}
+        assert lease.attempts == 0
+
+    def test_claimed_task_is_not_reclaimable(self, queue):
+        submit_one(queue, "t")
+        assert queue.claim("w1") is not None
+        assert queue.claim("w2") is None
+
+    def test_empty_queue_claims_none(self, queue):
+        assert queue.claim("w1") is None
+
+    def test_work_stealing_from_other_shards(self, queue):
+        submit_one(queue, "t")
+        shard = queue.shard_of("t")
+        other = (shard + 1) % queue.config.num_shards
+        # A worker preferring the *other* shard still drains this one.
+        lease = queue.claim("thief", preferred_shards=(other,))
+        assert lease is not None and lease.shard == shard
+
+    def test_preferred_shard_scanned_first(self, queue):
+        # Find ids landing in distinct shards.
+        ids = {}
+        index = 0
+        while len(ids) < 2:
+            task_id = f"task-{index}"
+            ids.setdefault(queue.shard_of(task_id), task_id)
+            index += 1
+        for task_id in ids.values():
+            submit_one(queue, task_id)
+        lease = queue.claim("w1", preferred_shards=(1,))
+        assert lease.shard == 1
+
+
+class TestExpiryAndRequeue:
+    def test_expired_lease_is_requeued_with_attempt_count(self, queue):
+        submit_one(queue, "t")
+        queue.claim("w1")
+        assert queue.reap_expired() == []  # still within TTL
+        time.sleep(0.25)
+        assert queue.reap_expired() == ["t"]
+        # Backoff: not immediately claimable, then claimable again.
+        deadline = time.time() + 2.0
+        lease = None
+        while lease is None and time.time() < deadline:
+            lease = queue.claim("w2")
+            time.sleep(0.02)
+        assert lease is not None
+        assert lease.attempts == 1
+        assert "lease expired" in queue._read(
+            queue._leased_path("t")
+        )["errors"][0]
+
+    def test_backoff_grows_exponentially(self, queue):
+        submit_one(queue, "t")
+        lease = queue.claim("w1")
+        queue.fail(lease, "boom-1")
+        record = json.loads(
+            (queue.root / "pending" / shard_name(queue.shard_of("t"))
+             / "t.json").read_text()
+        )
+        first_delay = record["not_before"] - time.time()
+        assert 0 < first_delay <= queue.config.retry_backoff + 0.05
+
+    def test_completion_after_expiry_reports_lost_lease(self, queue):
+        submit_one(queue, "t")
+        lease = queue.claim("w1")
+        time.sleep(0.25)
+        queue.reap_expired()
+        # The original worker finishes late: marker written, but it
+        # learns the lease lapsed.
+        assert queue.complete(lease) is False
+        assert queue.is_done("t")
+
+    def test_done_marker_drops_requeued_duplicate(self, queue):
+        submit_one(queue, "t")
+        lease = queue.claim("w1")
+        time.sleep(0.25)
+        queue.reap_expired()  # duplicate now pending
+        assert queue.complete(lease) is False
+        # The duplicate must not be claimable: the claim scan sees the
+        # done marker and unlinks it.
+        deadline = time.time() + 1.0
+        while time.time() < deadline:
+            assert queue.claim("w2") is None
+            if not list(queue.pending_ids()):
+                break
+            time.sleep(0.02)
+        assert list(queue.pending_ids()) == []
+
+
+class TestDoubleCommit:
+    def test_double_commit_of_same_fingerprint_is_idempotent(self, queue):
+        # Two workers racing the same content address (requeue raced a
+        # slow original): both complete; one owns the lease, the marker
+        # survives both.
+        submit_one(queue, "t")
+        lease = queue.claim("w1")
+        assert queue.complete(lease, served_from="simulation") is True
+        assert queue.complete(lease, served_from="simulation") is False
+        assert queue.is_done("t")
+        assert queue.counts()["done"] == 1
+
+
+class TestRetryExhaustion:
+    def test_exhaustion_surfaces_every_recorded_error(self, queue):
+        submit_one(queue, "t")
+        for attempt in range(queue.config.max_attempts):
+            lease = None
+            deadline = time.time() + 2.0
+            while lease is None and time.time() < deadline:
+                lease = queue.claim(f"w{attempt}")
+                time.sleep(0.02)
+            assert lease is not None, f"attempt {attempt} never claimable"
+            status = queue.fail(lease, f"boom-{attempt}")
+        assert status == "failed"
+        failure = queue.failure("t")
+        assert failure["attempts"] == queue.config.max_attempts
+        assert failure["errors"][-1] == "boom-2"
+        assert queue.claim("w9") is None
+        assert queue.failures().keys() == {"t"}
+
+
+class TestLifecycleMisc:
+    def test_renew_extends_deadline(self, queue):
+        submit_one(queue, "t")
+        lease = queue.claim("w1")
+        renewed = queue.renew(lease, ttl=30.0)
+        assert renewed.deadline > lease.deadline
+        time.sleep(0.25)
+        assert queue.reap_expired() == []
+
+    def test_renew_lost_lease_returns_none(self, queue):
+        submit_one(queue, "t")
+        lease = queue.claim("w1")
+        time.sleep(0.25)
+        queue.reap_expired()
+        assert queue.renew(lease) is None
+
+    def test_stop_sentinel_and_counts(self, queue):
+        submit_one(queue, "t")
+        assert queue.counts() == {
+            "pending": 1, "leased": 0, "done": 0, "failed": 0,
+        }
+        assert not queue.stopped
+        queue.stop()
+        assert queue.stopped
+
+    def test_create_clears_previous_stop_sentinel(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q")
+        queue.stop()
+        reopened = WorkQueue.create(tmp_path / "q")
+        assert not reopened.stopped
+
+    def test_open_missing_queue_raises(self, tmp_path):
+        with pytest.raises(QueueError, match="queue.json missing"):
+            WorkQueue.open(tmp_path / "nope")
+
+    def test_open_reads_broker_config(self, tmp_path):
+        WorkQueue.create(tmp_path / "q", num_shards=5, lease_ttl=7.0)
+        opened = WorkQueue.open(tmp_path / "q")
+        assert opened.config == QueueConfig(
+            num_shards=5, lease_ttl=7.0, max_attempts=3, retry_backoff=0.5
+        )
+
+    def test_version_skew_rejected(self, tmp_path):
+        WorkQueue.create(tmp_path / "q")
+        meta_path = tmp_path / "q" / "queue.json"
+        meta = json.loads(meta_path.read_text())
+        meta["queue_version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(QueueError, match="version"):
+            WorkQueue.open(tmp_path / "q")

@@ -1,0 +1,185 @@
+"""Distributed experiment service, end to end with real processes.
+
+The acceptance checks of the service: a grid run through broker +
+worker subprocesses is bit-identical to the sequential runner, and a
+worker SIGKILLed mid-lease loses nothing.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.common.params import MachineConfig
+from repro.experiments.cli import main as experiments_main
+from repro.experiments.runner import ExperimentSetup
+from repro.experiments.spec import ExperimentSpec, RunPoint, execute_spec
+from repro.experiments.store import ResultStore
+from repro.experiments.service import execute_spec_distributed
+from repro.experiments.service.worker import HOLD_FIRST_ENV_VAR
+
+PACKAGE_ROOT = str(Path(repro.__file__).resolve().parents[1])
+
+
+def worker_env(**extra):
+    env = os.environ.copy()
+    current = env.get("PYTHONPATH", "")
+    if PACKAGE_ROOT not in current.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            PACKAGE_ROOT + (os.pathsep + current if current else "")
+        )
+    env.update(extra)
+    return env
+
+
+def spawn_worker(queue_root, store_root, worker_id, **env_extra):
+    command = [
+        sys.executable, "-m", "repro", "experiments", "work",
+        "--queue", str(queue_root),
+        "--store", str(store_root),
+        "--worker-id", worker_id,
+        "--wait", "30",
+    ]
+    return subprocess.Popen(
+        command, env=worker_env(**env_extra),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(MachineConfig.small(), scale=0.05, seed=13)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    # Mixed fixed points and an ASR level search (the skewed, slow kind).
+    return ExperimentSpec("dist", (
+        RunPoint(scheme="S-NUCA", benchmark="DEDUP"),
+        RunPoint(scheme="R-NUCA", benchmark="DEDUP"),
+        RunPoint(scheme="RT-3", benchmark="DEDUP"),
+        RunPoint(scheme="ASR", benchmark="DEDUP"),
+        RunPoint(scheme="VR", benchmark="DEDUP"),
+    ))
+
+
+def assert_bit_identical(distributed, sequential, spec):
+    for point in spec.points:
+        ours = distributed.result_for(point)
+        theirs = sequential.result_for(point)
+        assert ours.stats == theirs.stats, point
+        assert ours.energy_breakdown == theirs.energy_breakdown, point
+        assert ours.asr_level == theirs.asr_level, point
+
+
+class TestGridThroughWorkerSubprocesses:
+    def test_bit_identical_with_two_workers(self, spec, setup, tmp_path):
+        sequential = execute_spec(spec, setup, ResultStore.memory())
+        store = ResultStore.shared(tmp_path / "store")
+        distributed = execute_spec_distributed(
+            spec, setup, store, tmp_path / "q",
+            workers=2, lease_ttl=120.0, timeout=300.0,
+        )
+        assert_bit_identical(distributed, sequential, spec)
+
+
+class TestKillAWorkerMidGrid:
+    def test_sigkilled_worker_loses_nothing(self, spec, setup, tmp_path):
+        """A worker SIGKILLed while holding a lease: its lease expires,
+        the point is requeued, a peer finishes it — bit-identical."""
+        sequential = execute_spec(spec, setup, ResultStore.memory())
+        store_root = tmp_path / "store"
+        queue_root = tmp_path / "q"
+        store = ResultStore.shared(store_root)
+
+        # The victim holds its first lease for (effectively) ever; the
+        # REPRO_WORKER_HOLD_FIRST_S hook pins it inside the lease
+        # deterministically, so the SIGKILL below always lands mid-task.
+        victim = spawn_worker(
+            queue_root, store_root, "victim", **{HOLD_FIRST_ENV_VAR: "600"}
+        )
+        rescuer_holder: dict = {}
+        outcome: dict = {}
+
+        def broker():
+            try:
+                outcome["results"] = execute_spec_distributed(
+                    spec, setup, store, queue_root,
+                    lease_ttl=3.0, retry_backoff=0.1, max_attempts=5,
+                    timeout=300.0,
+                )
+            except BaseException as error:  # surfaced by the main thread
+                outcome["error"] = error
+
+        thread = threading.Thread(target=broker)
+        thread.start()
+        try:
+            # Wait until the victim actually holds a lease...
+            deadline = time.time() + 60.0
+            leased = queue_root / "leased"
+            while time.time() < deadline:
+                if leased.is_dir() and any(leased.glob("*.json")):
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("victim never claimed a lease")
+            # ... kill it mid-task, then send in a healthy peer.
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=10.0)
+            rescuer_holder["proc"] = spawn_worker(
+                queue_root, store_root, "rescuer"
+            )
+            thread.join(timeout=300.0)
+            assert not thread.is_alive(), "broker never finished"
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+            rescuer = rescuer_holder.get("proc")
+            if rescuer is not None:
+                try:
+                    rescuer.wait(timeout=30.0)
+                except subprocess.TimeoutExpired:
+                    rescuer.kill()
+            thread.join(timeout=5.0)
+
+        assert "error" not in outcome, outcome.get("error")
+        assert_bit_identical(outcome["results"], sequential, spec)
+
+
+class TestDistributedCLI:
+    def test_distributed_flag_matches_sequential_output(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_RESULT_CACHE", f"shared:{tmp_path / 'store'}"
+        )
+        argv_tail = ["--scale", "0.05", "--benchmarks", "DEDUP"]
+        assert experiments_main(
+            ["fig6", *argv_tail, "--distributed", "2",
+             "--queue", str(tmp_path / "q")]
+        ) == 0
+        distributed_out = capsys.readouterr().out
+        assert experiments_main(
+            ["fig6", *argv_tail, "--no-cache"]
+        ) == 0
+        sequential_out = capsys.readouterr().out
+        assert distributed_out == sequential_out
+
+    def test_repeat_run_is_store_served(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_RESULT_CACHE", f"shared:{tmp_path / 'store'}"
+        )
+        argv = ["fig6", "--scale", "0.05", "--benchmarks", "DEDUP",
+                "--distributed", "2", "--queue", str(tmp_path / "q")]
+        assert experiments_main(argv) == 0
+        capsys.readouterr()
+        warm = ResultStore.from_env()
+        assert experiments_main(argv, store=warm) == 0
+        assert warm.misses == 0
+        assert warm.hit_rate() == 1.0
