@@ -23,6 +23,7 @@ from repro.sim.stats import SimStats
 from repro.workloads.benchmarks import BENCHMARK_ORDER, build_trace, get_profile
 from repro.workloads.imports import imported_trace_path, is_imported_benchmark
 from repro.workloads.io import load_trace_set
+from repro.workloads.streaming import StreamingTraceSet, stream_threshold_bytes
 from repro.workloads.trace import TraceSet
 
 
@@ -71,11 +72,22 @@ class ExperimentSetup:
         instead (the setup's ``scale``/``seed`` do not apply — an
         imported capture is fixed data).  The simulator still checks
         that the trace's core count matches this setup's machine.
+
+        Large imported archives stream: when the archive file exceeds
+        ``REPRO_STREAM_THRESHOLD`` bytes (default 64 MiB; ``0`` streams
+        everything, negative never streams) the loaded set is wrapped in
+        a :class:`~repro.workloads.streaming.StreamingTraceSet`, so the
+        simulator runs it chunk-by-chunk in bounded memory.  Streamed
+        and materialized runs are bit-identical by construction.
         """
         trace = self._trace_cache.get(benchmark)
         if trace is None:
             if is_imported_benchmark(benchmark):
-                trace = load_trace_set(imported_trace_path(benchmark))
+                path = imported_trace_path(benchmark)
+                trace = load_trace_set(path)
+                threshold = stream_threshold_bytes()
+                if threshold >= 0 and path.stat().st_size >= threshold:
+                    trace = StreamingTraceSet.from_trace_set(trace)
             else:
                 trace = build_trace(
                     get_profile(benchmark), self.config, self.scale, self.seed

@@ -61,8 +61,16 @@ def simulate(
         raise ValueError(
             f"trace has {traces.num_cores} cores but machine has {config.num_cores}"
         )
-    traces.validate_coverage()
-    resolve_kernel(kernel, traces, engine).run(engine, traces)
+    if getattr(traces, "is_streaming", False):
+        # Segmented sets cannot be materialized (resolve_kernel's auto
+        # probe would decode them); the streaming loop validates window
+        # coverage as chunks arrive and produces bit-identical stats.
+        from repro.sim.streaming import run_streaming
+
+        run_streaming(engine, traces, kernel)
+    else:
+        traces.validate_coverage()
+        resolve_kernel(kernel, traces, engine).run(engine, traces)
     engine.finalize()
     stats = engine.stats
     stats.completion_time = max(stats.core_finish) if stats.core_finish else 0.0

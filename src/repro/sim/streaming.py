@@ -1,0 +1,369 @@
+"""Streaming event loop: simulate a segmented trace in bounded memory.
+
+:func:`run_streaming` drives a :class:`~repro.schemes.base.ProtocolEngine`
+through a :class:`~repro.workloads.streaming.StreamingTraceSet` and
+produces :class:`~repro.sim.stats.SimStats` **bit-identical** to running
+the materialized trace through any of the registered kernels
+(:mod:`repro.sim.kernel`).  The correctness argument:
+
+*Starvation-driven refill preserves global event order.*  The loop is
+the same ready-heap schedule every kernel implements — pop the globally
+earliest ``(time, core)``, run it inline while it stays earliest — with
+one addition: each core executes out of a bounded *window* of its trace
+(a :class:`~repro.workloads.trace.DecodedTrace` over one chunk), and
+when the running core exhausts its window it *refills* from the segment
+source before taking another step.  Only the popped core — the globally
+earliest — can starve, and no other core may legally execute while an
+earlier-keyed core still has records, so pulling the starved core's
+next chunk (and only then proceeding) replays exactly the event order
+the materialized loop produces.  All cross-window carry state — per-core
+clocks in the heap, window-local positions, pending-barrier arrivals,
+finished cores — lives in an explicit :class:`StreamHandoff`.
+
+*Run flushes split exactly at window edges.*  The batched/vector run
+closures (:meth:`~repro.schemes.base.ProtocolEngine.make_batched_access`)
+already split runs at scheduling yields; a window edge just adds one
+more split point.  Every flushed quantity is either an integer counter,
+an integer-valued latency product (``hits * l1_latency`` — the closure
+guards integer latencies), or a Compute sum that is only batched when
+gaps are integral — all order- and grouping-independent — while the
+per-record clock keeps the reference float grouping
+``(now + gap) + latency``.  Fractional gaps flip the closures to
+per-record Compute charging in reference order (``charge_gaps``), which
+the streaming set's conservative ``gaps_integral`` flag triggers.
+
+Kernel selection mirrors the materialized path: ``reference``/``fast``
+single-step every record through the engine's fast-access closure;
+``batched``/``vector`` hand window-bounded runs to the engine's run
+closures with the same frozen per-pop scheduling budget, falling back
+exactly like their materialized counterparts when the engine declines.
+``auto`` picks from the stream's declared totals
+(:func:`choose_streaming_kernel`) since the record structure cannot be
+probed without consuming it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import os
+import random
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.types import AccessType
+from repro.sim import stats as stat_names
+from repro.sim.kernel import (
+    AUTO_KERNEL,
+    AUTO_MIN_IMBALANCE,
+    AUTO_MIN_SEGMENT_LENGTH,
+    AUTO_MIN_SEGMENT_LENGTH_REPLICA,
+    AUTO_MIN_SEGMENT_LENGTH_VECTOR,
+    DEFAULT_KERNEL,
+    KERNELS,
+    BatchedKernel,
+    SimulationKernel,
+)
+from repro.workloads.streaming import window_decoded
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schemes.base import ProtocolEngine
+    from repro.workloads.streaming import SegmentSource, StreamingTraceSet
+    from repro.workloads.trace import DecodedTrace
+
+
+@dataclasses.dataclass
+class StreamHandoff:
+    """Cross-window carry state of one streaming run.
+
+    This is the explicit run-boundary handoff the segmented execution
+    threads between chunks: everything the next window needs to resume
+    exactly where the previous one stopped.
+
+    * ``ready`` — the scheduler heap of ``(clock, core)``; a core's
+      entry survives any number of refills of *other* cores.
+    * ``positions`` — each core's next record, window-local.
+    * ``windows`` — each core's current bounded decoded window
+      (``None`` before the first pull and after exhaustion).
+    * ``waiting`` — cores parked at a barrier, mapped to arrival time
+      (a barrier can land on a window edge; the arrival carries over).
+    * ``finished`` — cores whose stream is exhausted and consumed.
+    * ``exhausted`` — cores whose source returned end-of-stream.
+    """
+
+    ready: "list[tuple[float, int]]"
+    positions: "list[int]"
+    windows: "list[DecodedTrace | None]"
+    waiting: "dict[int, float]"
+    finished: "set[int]"
+    exhausted: "list[bool]"
+
+    @classmethod
+    def fresh(cls, num_cores: int, rng: "random.Random | None" = None) -> "StreamHandoff":
+        seed_order = list(range(num_cores))
+        if rng is not None:
+            rng.shuffle(seed_order)
+        ready = [(0.0, core) for core in seed_order]
+        heapq.heapify(ready)
+        return cls(
+            ready=ready,
+            positions=[0] * num_cores,
+            windows=[None] * num_cores,
+            waiting={},
+            finished=set(),
+            exhausted=[False] * num_cores,
+        )
+
+
+def choose_streaming_kernel(
+    traces: "StreamingTraceSet", engine: "ProtocolEngine | None" = None
+) -> str:
+    """``auto`` for streams: pick from declared totals, not the records.
+
+    Mirrors :func:`repro.sim.kernel.choose_kernel`'s thresholds using
+    the stream's metadata (total records and per-core barrier count).
+    Per-core imbalance cannot be probed without consuming the stream,
+    so the imbalance gate is skipped — a wrong pick costs only speed,
+    and long-segment streams are exactly where batching pays.
+    """
+    records = traces.total_records
+    barriers = traces.total_barriers
+    if not records or barriers is None:
+        return DEFAULT_KERNEL
+    segments = traces.num_cores * (barriers + 1)
+    mean_segment = records / segments if segments else 0.0
+    min_segment = AUTO_MIN_SEGMENT_LENGTH
+    supports = getattr(engine, "supports_replica_batching", None)
+    if supports is not None and supports():
+        min_segment = AUTO_MIN_SEGMENT_LENGTH_REPLICA
+    if mean_segment < min_segment:
+        return DEFAULT_KERNEL
+    if mean_segment >= AUTO_MIN_SEGMENT_LENGTH_VECTOR and traces.gaps_integral:
+        vector = getattr(engine, "supports_vector_spans", None)
+        if vector is not None and vector():
+            return "vector"
+    return "batched"
+
+
+def _resolve_streaming_kernel(
+    kernel, traces: "StreamingTraceSet", engine: "ProtocolEngine"
+) -> "tuple[str, random.Random | None]":
+    """Kernel selector → (registered name, optional perturbation RNG)."""
+    rng = None
+    if isinstance(kernel, SimulationKernel):
+        rng = kernel._rng()
+        kernel = kernel.name
+    elif isinstance(kernel, type) and issubclass(kernel, SimulationKernel):
+        kernel = kernel.name
+    if kernel is None:
+        kernel = os.environ.get("REPRO_SIM_KERNEL") or DEFAULT_KERNEL
+    if kernel == AUTO_KERNEL:
+        kernel = choose_streaming_kernel(traces, engine)
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown simulation kernel {kernel!r}; available: {sorted(KERNELS)}"
+        )
+    return kernel, rng
+
+
+def _make_fast_access(engine: "ProtocolEngine"):
+    maker = getattr(engine, "make_fast_access", None)
+    fast_access = maker() if maker is not None else None
+    if fast_access is None:
+        engine_access = engine.access
+
+        def fast_access(core, atype, line_addr, now, _access=engine_access):
+            return _access(core, atype, line_addr, now).latency
+
+    return fast_access
+
+
+def _make_run_service(engine: "ProtocolEngine", kernel_name: str, charge_gaps: bool):
+    """The run closure for batched/vector modes, with the materialized
+    kernels' exact fallback ladder (vector → batched → per-record)."""
+    if kernel_name == "vector":
+        maker = getattr(engine, "make_vector_access", None)
+        service = maker(charge_gaps=charge_gaps) if maker is not None else None
+        if service is not None:
+            return service
+    maker = getattr(engine, "make_batched_access", None)
+    return maker(charge_gaps=charge_gaps) if maker is not None else None
+
+
+class _WindowValidator:
+    """Per-window coverage check (the streamed validate_coverage)."""
+
+    def __init__(self, traces: "StreamingTraceSet"):
+        bases = sorted(
+            (region.base, region.end) for region, _cls in traces.regions
+        )
+        self._starts = np.array([base for base, _end in bases], dtype=np.int64)
+        self._ends = np.array([end for _base, end in bases], dtype=np.int64)
+        self._name = traces.name
+
+    def check(self, core: int, types: np.ndarray, lines: np.ndarray) -> None:
+        data = lines[types != int(AccessType.BARRIER)]
+        if data.size == 0:
+            return
+        if self._starts.size == 0:
+            bad = int(data[0])
+        else:
+            index = np.searchsorted(self._starts, data, side="right") - 1
+            covered = (index >= 0) & (data < self._ends[np.maximum(index, 0)])
+            if covered.all():
+                return
+            bad = int(data[int(np.argmin(covered))])
+        raise ValueError(
+            f"trace {self._name!r}: core {core} accesses line {bad:#x}, "
+            f"which no region of the streaming region map covers"
+        )
+
+
+def run_streaming(
+    engine: "ProtocolEngine",
+    traces: "StreamingTraceSet",
+    kernel=None,
+) -> str:
+    """Drive ``engine`` through a streaming trace set; returns the
+    resolved kernel name (stats accumulate on ``engine.stats``)."""
+    stats = engine.stats
+    num_cores = engine.config.num_cores
+    kernel_name, rng = _resolve_streaming_kernel(kernel, traces, engine)
+
+    fast_access = _make_fast_access(engine)
+    run_service = None
+    if kernel_name in ("batched", "vector"):
+        charge_gaps = not traces.gaps_integral
+        run_service = _make_run_service(engine, kernel_name, charge_gaps)
+    batch_margin = (
+        BatchedKernel.BATCH_MIN_L1_LATENCIES * engine.config.l1_latency
+        if run_service is not None
+        else 0.0
+    )
+
+    add_latency = stats.add_latency
+    latency_buckets = stats.latency
+    core_finish = stats.core_finish
+    heappush, heappop = heapq.heappush, heapq.heappop
+    BARRIER = AccessType.BARRIER
+    COMPUTE = stat_names.COMPUTE
+    SYNCHRONIZATION = stat_names.SYNCHRONIZATION
+    INFINITY = float("inf")
+
+    validator = _WindowValidator(traces)
+    source = traces.open_source()
+    handoff = StreamHandoff.fresh(num_cores, rng)
+    ready = handoff.ready
+    positions = handoff.positions
+    windows = handoff.windows
+    waiting = handoff.waiting
+    finished = handoff.finished
+    exhausted = handoff.exhausted
+
+    def release_barrier() -> None:
+        release_time = max(waiting.values())
+        # Charge waits in deterministic (arrival) order — see the
+        # reference kernel: only heap pushes are provably order-free.
+        for wcore, arrival in waiting.items():
+            wait = release_time - arrival
+            if wait:
+                add_latency(SYNCHRONIZATION, wait)
+        released = list(waiting)
+        if rng is not None:
+            rng.shuffle(released)
+        for wcore in released:
+            heappush(ready, (release_time, wcore))
+        waiting.clear()
+
+    def refill(core: int) -> "DecodedTrace | None":
+        """Pull the starved core's next window (the suspend point)."""
+        chunk = source.pull(core)
+        if chunk is None:
+            exhausted[core] = True
+            windows[core] = None
+            return None
+        types, lines, gaps = chunk
+        validator.check(core, types, lines)
+        window = window_decoded(types, lines, gaps)
+        windows[core] = window
+        positions[core] = 0
+        return window
+
+    try:
+        while ready:
+            now, core = heappop(ready)
+            # The heap is untouched while this core runs inline (refills
+            # touch only this core), so the scheduling budget is per-pop
+            # — exactly the materialized kernels' frozen (limit, strict).
+            if ready:
+                limit, front_core = ready[0]
+                strict = front_core > core
+            else:
+                limit = INFINITY
+                strict = True
+            batch_below = limit - batch_margin
+            suspended = False
+            while not suspended:
+                window = windows[core]
+                if window is None or positions[core] >= window.length:
+                    if not exhausted[core]:
+                        window = refill(core)
+                    else:
+                        window = None
+                    if window is None:
+                        finished.add(core)
+                        core_finish[core] = now
+                        if waiting and len(waiting) + len(finished) >= num_cores:
+                            release_barrier()
+                        break
+                core_atypes = window.atypes
+                core_lines = window.lines
+                core_gaps = window.gaps
+                length = window.length
+                window_stops = window.run_stops if run_service is not None else None
+                index = positions[core]
+                n_finished = len(finished)
+                while True:
+                    if index >= length:
+                        positions[core] = index
+                        break  # window consumed → refill or finish above
+                    if run_service is not None and now <= batch_below:
+                        stop = window_stops[index]
+                        if stop > index:
+                            index, now, yielded = run_service(
+                                core, window, index, stop, now, limit, strict
+                            )
+                            if yielded:
+                                positions[core] = index
+                                heappush(ready, (now, core))
+                                suspended = True
+                                break
+                            if index >= length:
+                                continue  # window edge mid-run → refill
+                            # Fall through: the record at ``index`` needs
+                            # the full miss path and is single-stepped.
+                    atype = core_atypes[index]
+                    index += 1
+                    if atype is BARRIER:
+                        positions[core] = index
+                        waiting[core] = now
+                        if len(waiting) + n_finished >= num_cores:
+                            release_barrier()
+                        suspended = True
+                        break
+                    gap = core_gaps[index - 1]
+                    if gap:
+                        latency_buckets[COMPUTE] += gap
+                    issue_time = now + gap
+                    now = issue_time + fast_access(
+                        core, atype, core_lines[index - 1], issue_time
+                    )
+                    if ready and ready[0] < (now, core):
+                        positions[core] = index
+                        heappush(ready, (now, core))
+                        suspended = True
+                        break
+    finally:
+        source.close()
+    return kernel_name

@@ -16,7 +16,18 @@ from repro.workloads.imports import (
     infer_regions,
     trace_content_hash,
 )
+from repro.workloads.champsim_bin import (
+    read_champsim_bin,
+    synthesize_champsim_bin,
+    write_champsim_bin,
+)
 from repro.workloads.io import load_trace_set, save_trace_set
+from repro.workloads.streaming import (
+    StreamingTraceSet,
+    iter_segments,
+    stream_chunk_records,
+    stream_threshold_bytes,
+)
 from repro.workloads.generators import (
     ComponentStream,
     compute_gaps,
@@ -36,9 +47,16 @@ __all__ = [
     "ComponentStream",
     "CoreTrace",
     "ImportOptions",
+    "StreamingTraceSet",
     "TraceImportError",
     "TraceSet",
     "build_trace",
+    "iter_segments",
+    "read_champsim_bin",
+    "stream_chunk_records",
+    "stream_threshold_bytes",
+    "synthesize_champsim_bin",
+    "write_champsim_bin",
     "compute_gaps",
     "detect_format",
     "export_csv",

@@ -7,10 +7,13 @@ captures from real tracing tools into the simulator's native
 representation so they flow through the profiler, every simulation
 kernel and the experiment grids unmodified.
 
-Three external formats are understood, each parsed **streaming** (the
+Four external formats are understood, each parsed **streaming** (the
 source file is read in bounded chunks and accumulated into compact
-per-core ``array`` buffers — an import never materializes the text in
-memory):
+per-core buffers — an import never materializes the capture in
+memory).  Text captures may be gzip- (``.gz``) or xz- (``.xz``)
+compressed; the binary ChampSim format (``champsim-bin``, typically
+``name.trace.xz``) is decoded by :mod:`repro.workloads.champsim_bin`.
+The text formats:
 
 ``champsim``
     ChampSim-style text records, one access per line::
@@ -71,6 +74,7 @@ from __future__ import annotations
 import dataclasses
 import gzip
 import hashlib
+import lzma
 import os
 from array import array
 from pathlib import Path
@@ -82,8 +86,20 @@ from repro.common.addr import Region
 from repro.common.types import AccessType, LineClass
 from repro.workloads.trace import CoreTrace, TraceSet
 
-#: Recognized external formats (plus ``"auto"`` for detection).
+#: Recognized external text formats (plus ``"auto"`` for detection).
 FORMATS = ("champsim", "din", "csv")
+
+#: Recognized external binary formats (decoded by
+#: :mod:`repro.workloads.champsim_bin`; importable and streamable).
+BINARY_FORMATS = ("champsim-bin",)
+
+#: Every importable format, the CLI's ``--format`` vocabulary.
+ALL_FORMATS = FORMATS + BINARY_FORMATS
+
+#: File suffixes (inner extensions, compression stripped) that identify
+#: a binary ChampSim capture: real captures ship as
+#: ``name.champsimtrace.xz`` / ``name.trace.xz``.
+_BINARY_SUFFIXES = ("champsimtrace", "trace")
 
 #: Single-stream → per-core splitting strategies.
 SPLITS = ("round-robin", "blocks")
@@ -142,10 +158,17 @@ class ImportOptions:
     split: str = "round-robin"
     line_bytes: int = 64
     name: "str | None" = None
+    #: Record budget (the CLI's ``--max-inst``): stop parsing after this
+    #: many records — text-format lines, or *instructions* for the
+    #: binary ChampSim format (an instruction may expand to several
+    #: accesses).  ``None`` imports the whole capture.
+    max_records: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.num_cores is not None and self.num_cores < 1:
             raise ValueError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.max_records is not None and self.max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {self.max_records}")
         if self.split not in SPLITS:
             raise ValueError(
                 f"unknown split {self.split!r}; expected one of {SPLITS}"
@@ -166,23 +189,32 @@ class ImportOptions:
 # ---------------------------------------------------------------------------
 
 def _open_text(path: Path) -> TextIO:
-    """Open a capture for streaming text reads (transparent gzip)."""
+    """Open a capture for streaming text reads (transparent gzip/xz)."""
     if path.suffix == ".gz":
         return gzip.open(path, "rt", encoding="utf-8")
+    if path.suffix == ".xz":
+        return lzma.open(path, "rt", encoding="utf-8")
     return path.open("r", encoding="utf-8")
 
 
 def _open_text_write(path: Path) -> TextIO:
-    """Writing twin of :func:`_open_text` (a ``.gz`` suffix gzips)."""
+    """Writing twin of :func:`_open_text` (``.gz`` gzips, ``.xz`` lzmas)."""
     if path.suffix == ".gz":
         return gzip.open(path, "wt", encoding="utf-8")
+    if path.suffix == ".xz":
+        return lzma.open(path, "wt", encoding="utf-8")
     return path.open("w", encoding="utf-8")
 
 
-def _iter_lines(handle: TextIO) -> Iterator[tuple[int, str]]:
+def _iter_lines(
+    handle: TextIO, max_records: "int | None" = None
+) -> Iterator[tuple[int, str]]:
     """(lineno, stripped payload) for every non-blank, non-comment line,
-    pulled in bounded chunks so huge captures never sit in memory."""
+    pulled in bounded chunks so huge captures never sit in memory.
+    ``max_records`` stops the scan after that many data lines (the
+    ``--max-inst`` budget; headers and comments do not count)."""
     lineno = 0
+    yielded = 0
     while True:
         chunk = handle.readlines(CHUNK_LINES * 64)
         if not chunk:
@@ -193,6 +225,9 @@ def _iter_lines(handle: TextIO) -> Iterator[tuple[int, str]]:
             if not line or line.startswith("#"):
                 continue
             yield lineno, line
+            yielded += 1
+            if max_records is not None and yielded >= max_records:
+                return
 
 
 def _parse_int(token: str, source: Path, lineno: int, field: str) -> int:
@@ -270,23 +305,49 @@ class _CoreBuffers:
 # Format detection
 # ---------------------------------------------------------------------------
 
+def _looks_binary(path: Path) -> bool:
+    """Sniff whether a ``.trace`` file holds binary records or text.
+
+    Packed ``input_instr`` records are full of NUL padding while every
+    text capture is NUL-free, so one bounded (decompressed) read
+    decides.  Decompression errors count as binary: the suffix already
+    said so, and the binary importer raises with far better context.
+    """
+    from repro.workloads.champsim_bin import open_binary
+
+    try:
+        with open_binary(path) as handle:
+            head = handle.read(4096)
+    except (lzma.LZMAError, gzip.BadGzipFile, EOFError):
+        return True
+    return b"\x00" in head
+
+
 def detect_format(path: "str | Path") -> str:
     """Guess a capture's format from its extension, then its content.
 
-    ``.csv`` / ``.csv.gz`` → csv; ``.din`` / ``.din.gz`` → din;
-    ``.champsim`` (``.gz``) → champsim.  Otherwise the first data line
-    decides: a comma means csv; a first field that is a din type code
-    (``0``/``1``/``2``) means din — din rows may carry trailing ignored
-    columns, so the field *count* cannot distinguish them from
-    champsim's three-field rows, and a genuine champsim ``pc`` is never
-    a small type code; any other three-field line means champsim.
-    Ambiguous captures should pass an explicit format.
+    ``.csv`` / ``.csv.gz`` / ``.csv.xz`` → csv; ``.din`` (``.gz``/
+    ``.xz``) → din; ``.champsim`` (``.gz``/``.xz``) → champsim;
+    ``.champsimtrace`` (``.gz``/``.xz``) → the binary ChampSim format,
+    as does ``.trace`` when the content is binary (NUL bytes — text
+    ``.trace`` captures keep their content-based detection).
+    Otherwise the first data line decides: a comma
+    means csv; a first field that is a din type code (``0``/``1``/``2``)
+    means din — din rows may carry trailing ignored columns, so the
+    field *count* cannot distinguish them from champsim's three-field
+    rows, and a genuine champsim ``pc`` is never a small type code; any
+    other three-field line means champsim.  Ambiguous captures should
+    pass an explicit format.
     """
     path = Path(path)
     suffixes = [suffix.lstrip(".") for suffix in path.suffixes]
     for fmt in FORMATS:
         if fmt in suffixes:
             return fmt
+    if "champsimtrace" in suffixes:
+        return "champsim-bin"
+    if any(suffix in _BINARY_SUFFIXES for suffix in suffixes) and _looks_binary(path):
+        return "champsim-bin"
     with _open_text(path) as handle:
         for _lineno, line in _iter_lines(handle):
             if "," in line:
@@ -359,7 +420,7 @@ def _import_single_stream(
     if options.split == "round-robin":
         index = 0
         with _open_text(path) as handle:
-            for lineno, line in _iter_lines(handle):
+            for lineno, line in _iter_lines(handle, options.max_records):
                 atype, line_addr = parse(path, lineno, line.split(), shift)
                 buffers.append(index % num_cores, atype, line_addr, 0)
                 index += 1
@@ -369,7 +430,7 @@ def _import_single_stream(
     # the chunks are numpy slices of it (no per-record Python work).
     staging = _CoreBuffers(1)
     with _open_text(path) as handle:
-        for lineno, line in _iter_lines(handle):
+        for lineno, line in _iter_lines(handle, options.max_records):
             atype, line_addr = parse(path, lineno, line.split(), shift)
             staging.append(0, atype, line_addr, 0)
     total = staging.records()
@@ -406,7 +467,9 @@ def _import_csv_cores(path: Path, options: ImportOptions) -> list[CoreTrace]:
     last_tick: list[int] = [0] * (declared or 0)
     first_data_row = True
     with _open_text(path) as handle:
-        for lineno, line in _iter_lines(handle):
+        # A header row spends one unit of the record budget — the cap is
+        # a scan bound (``--max-inst``), not an exact record count.
+        for lineno, line in _iter_lines(handle, options.max_records):
             fields = [field.strip() for field in line.split(",")]
             if first_data_row:
                 first_data_row = False
@@ -702,10 +765,10 @@ def import_trace(
 ) -> TraceSet:
     """Parse an external capture into a :class:`TraceSet`.
 
-    ``fmt`` is one of :data:`FORMATS` or ``"auto"`` (extension + content
-    sniffing, :func:`detect_format`).  The returned set carries inferred
-    regions (:func:`infer_regions`) and a ``provenance`` payload that
-    :func:`repro.workloads.io.save_trace_set` persists.
+    ``fmt`` is one of :data:`ALL_FORMATS` or ``"auto"`` (extension +
+    content sniffing, :func:`detect_format`).  The returned set carries
+    inferred regions (:func:`infer_regions`) and a ``provenance``
+    payload that :func:`repro.workloads.io.save_trace_set` persists.
     """
     path = Path(path)
     if options is None:
@@ -721,16 +784,20 @@ def import_trace(
             cores = _import_single_stream(path, options, _parse_din)
         elif fmt == "csv":
             cores = _import_csv_cores(path, options)
+        elif fmt == "champsim-bin":
+            from repro.workloads.champsim_bin import read_champsim_bin
+
+            cores = read_champsim_bin(path, options)
         else:
             raise ValueError(
-                f"unknown trace format {fmt!r}; expected one of {FORMATS} "
-                f"or 'auto'"
+                f"unknown trace format {fmt!r}; expected one of "
+                f"{ALL_FORMATS} or 'auto'"
             )
-    except (UnicodeDecodeError, gzip.BadGzipFile) as error:
+    except (UnicodeDecodeError, gzip.BadGzipFile, lzma.LZMAError, EOFError) as error:
         # A binary blob (e.g. an .npz handed to import instead of the
         # experiment CLI) should fail with a located import error.
         raise TraceImportError(
-            path, None, f"not a text capture ({error})"
+            path, None, f"not a readable capture ({error})"
         ) from None
     try:
         trace_set = TraceSet(
@@ -751,6 +818,8 @@ def import_trace(
         "records": trace_set.total_accesses(),
         "barriers": cores[0].barrier_count(),
     }
+    if options.max_records is not None:
+        trace_set.provenance["max_records"] = options.max_records
     return trace_set
 
 

@@ -43,6 +43,14 @@ class DecodedTrace:
       (exact), so kernels must fall back to per-record charging when it is
       False to stay bit-identical to the reference accumulation order.
 
+    The boxed views (``atypes``/``lines``/``gaps``) are built lazily on
+    first attribute access and cached: constructing a ``DecodedTrace``
+    costs only the cheap vectorized summaries (length, compute cycles,
+    integrality).  Callers that never enter a boxed hot loop — the
+    reference kernel, the ``choose_kernel`` probe, streaming windows for
+    idle cores — therefore never pay the ~30x boxed-list memory blowup,
+    and ``CoreTrace.release_decoded`` frees it deterministically.
+
     Two run-length views support the batched kernel, which services whole
     runs of same-core L1 hits without re-entering the scheduler.  Both
     are computed lazily on first access (cached) — only the batched
@@ -62,17 +70,13 @@ class DecodedTrace:
     """
 
     __slots__ = (
-        "atypes", "lines", "gaps", "length", "compute_cycles", "gaps_integral",
-        "_types_array", "_gaps_array", "_lines_array", "_run_stops",
-        "_gap_prefix",
+        "length", "compute_cycles", "gaps_integral",
+        "_types_array", "_gaps_array", "_lines_array",
+        "_atypes", "_lines", "_gaps", "_run_stops", "_gap_prefix",
     )
 
     def __init__(self, trace: "CoreTrace") -> None:
-        table = _ACCESS_TYPE_BY_VALUE
-        self.atypes = [table[value] for value in trace.types.tolist()]
-        self.lines = trace.lines.tolist()
-        self.gaps = trace.gaps.astype(np.float64).tolist()
-        self.length = len(self.atypes)
+        self.length = len(trace.types)
         non_barrier = trace.types != AccessType.BARRIER
         self.compute_cycles = float(
             trace.gaps[non_barrier].sum(dtype=np.float64)
@@ -80,13 +84,44 @@ class DecodedTrace:
         self.gaps_integral = trace.gaps.dtype.kind in "iub" or bool(
             np.all(trace.gaps == np.floor(trace.gaps))
         )
-        # Backing arrays retained for the lazy run-length views; frozen
-        # while this decoded view is cached (see CoreTrace.decoded).
+        # Backing arrays retained for the lazy boxed/run-length views;
+        # frozen while this decoded view is cached (see CoreTrace.decoded).
         self._types_array = trace.types
         self._gaps_array = trace.gaps
         self._lines_array = trace.lines
+        self._atypes: list | None = None
+        self._lines: list[int] | None = None
+        self._gaps: list[float] | None = None
         self._run_stops: list[int] | None = None
         self._gap_prefix: np.ndarray | None = None
+
+    @property
+    def atypes(self) -> list:
+        """Boxed :class:`AccessType` members (built and cached on first use)."""
+        atypes = self._atypes
+        if atypes is None:
+            table = _ACCESS_TYPE_BY_VALUE
+            atypes = [table[value] for value in self._types_array.tolist()]
+            self._atypes = atypes
+        return atypes
+
+    @property
+    def lines(self) -> list[int]:
+        """Boxed native-int line addresses (built and cached on first use)."""
+        lines = self._lines
+        if lines is None:
+            lines = self._lines_array.tolist()
+            self._lines = lines
+        return lines
+
+    @property
+    def gaps(self) -> list[float]:
+        """Boxed native-float gaps (built and cached on first use)."""
+        gaps = self._gaps
+        if gaps is None:
+            gaps = self._gaps_array.astype(np.float64).tolist()
+            self._gaps = gaps
+        return gaps
 
     @property
     def barrier_count(self) -> int:
@@ -184,6 +219,13 @@ class CoreTrace:
 class TraceSet:
     """Per-core traces plus the data-class layout of the address space."""
 
+    #: Class marker the simulator dispatches on: a materialized set is
+    #: simulated in one piece, while a streaming set
+    #: (:class:`repro.workloads.streaming.StreamingTraceSet`, which
+    #: duck-types this surface) is fed to the kernels in bounded-memory
+    #: segments.
+    is_streaming = False
+
     name: str
     cores: list[CoreTrace]
     #: (region, class) pairs with non-overlapping regions.
@@ -211,8 +253,24 @@ class TraceSet:
         return len(self.cores)
 
     def decoded(self) -> list[DecodedTrace]:
-        """Per-core :class:`DecodedTrace` views (cached on the cores)."""
+        """Per-core :class:`DecodedTrace` views (cached on the cores).
+
+        Cheap to call: the views' expensive boxed lists are built lazily
+        per core on first hot-loop attribute access, not here — probing
+        ``length``/``compute_cycles``/``barrier_count`` across all cores
+        (the ``choose_kernel`` path) allocates nothing.
+        """
         return [trace.decoded() for trace in self.cores]
+
+    def segments(self, chunk_records: "int | None" = None):
+        """Iterate the set as bounded-memory :class:`TraceSegment` chunks.
+
+        Delegates to :func:`repro.workloads.streaming.iter_segments`; see
+        there for the run-boundary handoff contract.
+        """
+        from repro.workloads.streaming import iter_segments
+
+        return iter_segments(self, chunk_records)
 
     def release_decoded(self) -> None:
         """Drop every core's cached decoded view."""

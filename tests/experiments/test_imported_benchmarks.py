@@ -66,6 +66,39 @@ class TestTraceFor:
             run_one(setup, "S-NUCA", f"imported:{imported_npz}")
 
 
+class TestStreamingThreshold:
+    def test_small_archives_stay_materialized_by_default(
+        self, tiny_setup, imported_npz, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_STREAM_THRESHOLD", raising=False)
+        traces = tiny_setup.trace_for(f"imported:{imported_npz}")
+        assert not getattr(traces, "is_streaming", False)
+
+    def test_zero_threshold_streams_and_results_are_identical(
+        self, tiny_config, imported_npz, monkeypatch
+    ):
+        from repro.experiments.runner import run_one
+
+        name = f"imported:{imported_npz}"
+        materialized = run_one(
+            ExperimentSetup(tiny_config, scale=0.05, seed=4), "RT-3", name
+        )
+        monkeypatch.setenv("REPRO_STREAM_THRESHOLD", "0")
+        setup = ExperimentSetup(tiny_config, scale=0.05, seed=4)
+        traces = setup.trace_for(name)
+        assert traces.is_streaming
+        setup.release_decoded(name)  # the streaming no-op surface
+        streamed = run_one(setup, "RT-3", name)
+        assert streamed.stats.to_dict() == materialized.stats.to_dict()
+
+    def test_negative_threshold_never_streams(
+        self, tiny_setup, imported_npz, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STREAM_THRESHOLD", "-1")
+        traces = tiny_setup.trace_for(f"imported:{imported_npz}")
+        assert not getattr(traces, "is_streaming", False)
+
+
 class TestContentAddressing:
     def _key(self, name, setup):
         point = RunPoint(scheme="S-NUCA", benchmark=name)

@@ -1,0 +1,191 @@
+"""Streaming executor vs materialized kernels on real scheme engines.
+
+The unit-level chunk-boundary cases live in
+``tests/workloads/test_streaming.py``; here full machines (caches,
+mesh, DRAM, replication) run real benchmark traces both ways and must
+produce bit-identical stats — the tier-1 counterpart of the CI
+``streaming-smoke`` giga-trace check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.schemes.factory import make_scheme
+from repro.sim.simulator import simulate
+from repro.sim.streaming import StreamHandoff, choose_streaming_kernel
+from repro.testing.differential import verify_streaming
+from repro.workloads.benchmarks import build_trace, get_profile
+from repro.workloads.streaming import StreamingTraceSet
+
+KERNELS = ("reference", "fast", "batched", "vector")
+
+
+@pytest.fixture(scope="module")
+def trace_and_config():
+    from repro.common.params import MachineConfig
+
+    config = MachineConfig.tiny()
+    return build_trace(get_profile("RADIX"), config, seed=5), config
+
+
+class TestStreamedEqualsMaterialized:
+    @pytest.mark.parametrize("scheme", ["S-NUCA", "R-NUCA", "VR", "RT-3"])
+    def test_schemes_bit_identical(self, trace_and_config, scheme):
+        traces, config = trace_and_config
+        verify_streaming(
+            lambda: make_scheme(scheme, config),
+            traces,
+            chunk_records=193,
+            context=scheme,
+        )
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_every_kernel_across_chunk_sizes(self, trace_and_config, kernel):
+        traces, config = trace_and_config
+        expected = simulate(
+            make_scheme("RT-3", config), traces, kernel=kernel
+        ).to_dict()
+        for chunk in (1, 97, 1 << 20):
+            streamed = StreamingTraceSet.from_trace_set(traces, chunk)
+            got = simulate(
+                make_scheme("RT-3", config), streamed, kernel=kernel
+            ).to_dict()
+            assert got == expected, (kernel, chunk)
+
+    def test_fractional_gaps_bit_identical(self, trace_and_config):
+        traces, config = trace_and_config
+        rng = np.random.default_rng(2)
+        cores = [
+            dataclasses.replace(
+                trace,
+                gaps=trace.gaps.astype(np.float64)
+                + rng.uniform(0.0, 0.9, size=len(trace)),
+            )
+            for trace in traces.cores
+        ]
+        frac = dataclasses.replace(traces, cores=cores)
+        streamed = StreamingTraceSet.from_trace_set(frac, chunk_records=151)
+        assert not streamed.gaps_integral
+        for kernel in KERNELS:
+            expected = simulate(
+                make_scheme("RT-3", config), frac, kernel=kernel
+            ).to_dict()
+            got = simulate(
+                make_scheme("RT-3", config), streamed, kernel=kernel
+            ).to_dict()
+            assert got == expected, kernel
+
+    def test_chunk_env_knob_drives_the_default(
+        self, trace_and_config, monkeypatch
+    ):
+        traces, config = trace_and_config
+        expected = simulate(make_scheme("RT-3", config), traces).to_dict()
+        monkeypatch.setenv("REPRO_STREAM_CHUNK", "61")
+        streamed = StreamingTraceSet.from_trace_set(traces)
+        got = simulate(make_scheme("RT-3", config), streamed).to_dict()
+        assert got == expected
+
+    def test_kernel_env_applies_to_streaming(
+        self, trace_and_config, monkeypatch
+    ):
+        traces, config = trace_and_config
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "reference")
+        expected = simulate(make_scheme("RT-3", config), traces).to_dict()
+        streamed = StreamingTraceSet.from_trace_set(traces, 89)
+        got = simulate(make_scheme("RT-3", config), streamed).to_dict()
+        assert got == expected
+
+
+class TestDirectCaptureStreaming:
+    def test_capture_stream_matches_materialized_import(self, tmp_path):
+        from repro.common.params import MachineConfig
+        from repro.workloads.champsim_bin import synthesize_champsim_bin
+        from repro.workloads.imports import ImportOptions, import_trace
+
+        config = MachineConfig.tiny()
+        path = synthesize_champsim_bin(
+            tmp_path / "cap.trace.xz", 6000, seed=3
+        )
+        materialized = import_trace(path, options=ImportOptions(num_cores=4))
+        for overlap in (False, True):
+            streamed = StreamingTraceSet.from_champsim_bin(
+                path, num_cores=4, chunk_records=512, overlap=overlap
+            )
+            assert streamed.total_records == materialized.total_accesses()
+            for kernel in ("fast", "batched"):
+                expected = simulate(
+                    make_scheme("RT-3", config), materialized, kernel=kernel
+                ).to_dict()
+                got = simulate(
+                    make_scheme("RT-3", config), streamed, kernel=kernel
+                ).to_dict()
+                assert got == expected, (overlap, kernel)
+
+    def test_window_coverage_violation_caught(self, trace_and_config):
+        traces, config = trace_and_config
+        streamed = StreamingTraceSet.from_trace_set(traces, 128)
+        streamed = dataclasses.replace(streamed, regions=traces.regions[:1])
+        with pytest.raises(ValueError, match="no region"):
+            simulate(make_scheme("RT-3", config), streamed)
+
+
+class TestKernelSelection:
+    def _stream(self, records, barriers, cores=4, gaps_integral=True):
+        return StreamingTraceSet(
+            name="meta",
+            num_cores=cores,
+            regions=[],
+            source_factory=lambda: None,
+            gaps_integral=gaps_integral,
+            total_records=records,
+            total_barriers=barriers,
+        )
+
+    def test_short_segments_pick_the_default(self):
+        assert choose_streaming_kernel(self._stream(100, 10)) == "fast"
+
+    def test_long_segments_pick_batched(self):
+        assert choose_streaming_kernel(self._stream(100_000, 0)) == "batched"
+
+    def test_unknown_totals_pick_the_default(self):
+        assert choose_streaming_kernel(self._stream(None, None)) == "fast"
+
+    def test_vector_needs_engine_support_and_integral_gaps(self):
+        class VectorEngine:
+            def supports_vector_spans(self):
+                return True
+
+            def supports_replica_batching(self):
+                return False
+
+        stream = self._stream(1_000_000, 0)
+        assert choose_streaming_kernel(stream, VectorEngine()) == "vector"
+        fractional = self._stream(1_000_000, 0, gaps_integral=False)
+        assert choose_streaming_kernel(fractional, VectorEngine()) == "batched"
+
+    def test_auto_streamed_matches_auto_materialized_stats(
+        self, trace_and_config
+    ):
+        traces, config = trace_and_config
+        streamed = StreamingTraceSet.from_trace_set(traces, 173)
+        expected = simulate(
+            make_scheme("RT-3", config), traces, kernel="auto"
+        ).to_dict()
+        got = simulate(
+            make_scheme("RT-3", config), streamed, kernel="auto"
+        ).to_dict()
+        assert got == expected
+
+
+class TestStreamHandoff:
+    def test_fresh_state_shape(self):
+        handoff = StreamHandoff.fresh(3)
+        assert sorted(handoff.ready) == [(0.0, 0), (0.0, 1), (0.0, 2)]
+        assert handoff.positions == [0, 0, 0]
+        assert handoff.windows == [None, None, None]
+        assert handoff.waiting == {} and handoff.finished == set()
+        assert handoff.exhausted == [False, False, False]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import gzip
+import lzma
 
 import numpy as np
 import pytest
@@ -178,6 +179,40 @@ class TestCsvImport:
         with gzip.open(path, "wt") as handle:
             handle.write("core,tick,type,line\n0,0,R,4\n")
         assert import_trace(path).cores[0].lines.tolist() == [4]
+
+    def test_xz_transparent(self, tmp_path):
+        path = tmp_path / "t.csv.xz"
+        with lzma.open(path, "wt") as handle:
+            handle.write("core,tick,type,line\n0,0,R,4\n1,0,W,9\n")
+        traces = import_trace(path)
+        assert traces.cores[0].lines.tolist() == [4]
+        assert traces.cores[1].lines.tolist() == [9]
+
+
+class TestMaxRecords:
+    def test_caps_single_stream_imports(self, tmp_path):
+        lines = "".join(f"0x400000 {hex(0x40 * (i + 1))} 0\n" for i in range(10))
+        path = _write(tmp_path, "t.champsim", lines)
+        traces = import_trace(
+            path, options=ImportOptions(max_records=4, num_cores=2)
+        )
+        assert traces.total_accesses() == 4
+        assert traces.provenance["max_records"] == 4
+
+    def test_caps_csv_imports(self, tmp_path):
+        rows = "".join(f"0,{i},R,{4 + i}\n" for i in range(10))
+        path = _write(tmp_path, "t.csv", rows)
+        traces = import_trace(path, options=ImportOptions(max_records=3))
+        assert traces.total_accesses() == 3
+
+    def test_unlimited_leaves_provenance_clean(self, tmp_path):
+        path = _write(tmp_path, "t.csv", "0,0,R,4\n")
+        traces = import_trace(path)
+        assert "max_records" not in traces.provenance
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="max_records"):
+            ImportOptions(max_records=0)
 
 
 class TestFormatDetection:
@@ -509,5 +544,5 @@ class TestOptionValidation:
     def test_binary_blob_rejected_as_not_text(self, tmp_path):
         path = tmp_path / "blob.npz"
         path.write_bytes(bytes(range(256)) * 4)
-        with pytest.raises(TraceImportError, match="not a text capture"):
+        with pytest.raises(TraceImportError, match="not a readable capture"):
             import_trace(path, fmt="csv")

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -74,6 +76,120 @@ class TestImport:
                 "trace", "import", str(capture),
                 "--out", str(tmp_path / "bad.npz"),
             ])
+
+
+class TestBinaryImport:
+    def test_champsim_bin_fixture_imports_back(self, tmp_path, capsys):
+        capture = tmp_path / "cap.trace.xz"
+        assert main([
+            "trace", "synthesize-fixture", "--format", "champsim-bin",
+            "--cores", "4", "--records", "50", "--out", str(capture),
+        ]) == 0
+        npz = tmp_path / "bin.npz"
+        assert main([
+            "trace", "import", str(capture), "--cores", "4",
+            "--out", str(npz),
+        ]) == 0
+        traces = load_trace_set(npz)
+        assert traces.provenance["format"] == "champsim-bin"
+        assert traces.num_cores == 4
+        assert traces.total_accesses() == 200
+        traces.validate_coverage()
+
+    def test_max_inst_caps_the_import(self, tmp_path):
+        capture = tmp_path / "cap.trace.xz"
+        main([
+            "trace", "synthesize-fixture", "--format", "champsim-bin",
+            "--cores", "4", "--records", "50", "--out", str(capture),
+        ])
+        npz = tmp_path / "capped.npz"
+        assert main([
+            "trace", "import", str(capture), "--cores", "4",
+            "--max-inst", "30", "--out", str(npz),
+        ]) == 0
+        traces = load_trace_set(npz)
+        assert traces.total_accesses() == 30
+        assert traces.provenance["max_records"] == 30
+
+
+class TestSimulate:
+    def _capture(self, tmp_path, records=80):
+        capture = tmp_path / "cap.trace.xz"
+        main([
+            "trace", "synthesize-fixture", "--format", "champsim-bin",
+            "--cores", "4", "--records", str(records), "--out", str(capture),
+        ])
+        return capture
+
+    def _json_line(self, capsys):
+        return json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+
+    def test_streamed_and_materialized_digests_agree(self, tmp_path, capsys):
+        capture = self._capture(tmp_path)
+        assert main([
+            "trace", "simulate", str(capture), "--cores", "4", "--json",
+        ]) == 0
+        streamed = self._json_line(capsys)
+        assert main([
+            "trace", "simulate", str(capture), "--cores", "4",
+            "--no-stream", "--json",
+        ]) == 0
+        materialized = self._json_line(capsys)
+        assert streamed["streamed"] and not materialized["streamed"]
+        assert streamed["stats_sha256"] == materialized["stats_sha256"]
+        assert streamed["records"] == materialized["records"] == 320
+        assert streamed["max_rss_kib"] > 0
+        assert streamed["completion_time"] == materialized["completion_time"]
+
+    def test_archive_path_and_chunk_knob(self, tmp_path, capsys):
+        capture = self._capture(tmp_path)
+        npz = tmp_path / "cap.npz"
+        main(["trace", "import", str(capture), "--cores", "4",
+              "--out", str(npz)])
+        capsys.readouterr()
+        assert main([
+            "trace", "simulate", str(npz), "--stream", "--chunk", "16",
+            "--json",
+        ]) == 0
+        streamed = self._json_line(capsys)
+        assert main(["trace", "simulate", str(npz), "--json"]) == 0
+        plain = self._json_line(capsys)
+        assert streamed["stats_sha256"] == plain["stats_sha256"]
+
+    def test_kernel_and_scheme_options(self, tmp_path, capsys):
+        capture = self._capture(tmp_path, records=40)
+        capsys.readouterr()
+        for kernel in ("reference", "batched"):
+            assert main([
+                "trace", "simulate", str(capture), "--cores", "4",
+                "--scheme", "S-NUCA", "--kernel", kernel, "--json",
+            ]) == 0
+        lines = [json.loads(line) for line
+                 in capsys.readouterr().out.strip().splitlines()]
+        assert lines[0]["stats_sha256"] == lines[1]["stats_sha256"]
+        assert {line["kernel"] for line in lines} == {"reference", "batched"}
+
+    def test_max_inst_budget(self, tmp_path, capsys):
+        capture = self._capture(tmp_path)
+        assert main([
+            "trace", "simulate", str(capture), "--cores", "4",
+            "--max-inst", "100", "--json",
+        ]) == 0
+        assert self._json_line(capsys)["records"] == 100
+
+    def test_text_capture_rejected_with_hint(self, tmp_path):
+        text = tmp_path / "cap.csv"
+        text.write_text("0,0,R,4\n")
+        with pytest.raises(SystemExit, match="imported first"):
+            main(["trace", "simulate", str(text)])
+
+    def test_human_readable_output(self, tmp_path, capsys):
+        capture = self._capture(tmp_path, records=40)
+        assert main([
+            "trace", "simulate", str(capture), "--cores", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "streamed" in out and "stats sha256:" in out
 
 
 class TestInspect:
